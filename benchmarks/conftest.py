@@ -1,0 +1,20 @@
+"""Shared benchmark fixtures.
+
+Each benchmark reproduces one table or figure: it runs the experiment once
+under pytest-benchmark (``rounds=1`` — a full suite simulation is the unit
+of work, statistical repetition adds nothing because the simulator is
+deterministic and results are disk-cached), prints the paper-layout table,
+and asserts the *shape* headlines the paper reports.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``fn`` exactly once under the benchmark timer and return its value."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,26 @@
+"""Ablation bench: GPM count at constant totals (cost-locality trade)."""
+
+from repro.experiments import gpm_scaling
+
+
+def test_gpm_scaling(run_once):
+    points = run_once(gpm_scaling.run_gpm_scaling)
+    print()
+    print(gpm_scaling.report(points))
+
+    by_count = {p.n_gpms: p for p in points}
+    # The 4-GPM machine is the reference.
+    assert by_count[4].baseline_speedup == 1.0
+    # On the unoptimized baseline, module count is a wash at fixed per-link
+    # bandwidth: fewer modules mean less remote traffic (1/2 vs 3/4) but
+    # also funnel twice the SMs through the same escape bandwidth, so the
+    # bisection-per-SM loss roughly cancels the locality gain.
+    assert 0.8 < by_count[2].baseline_speedup < 1.1
+    # With the locality optimizations on, bigger modules win: almost all
+    # traffic is local, so halving the module count mostly removes the
+    # remaining NUMA exposure.
+    assert by_count[2].optimized_speedup > 1.0
+    # Eight small modules fragment the caches, raise the remote fraction
+    # to 7/8, and add hops: clearly worse on both machines.
+    assert by_count[8].baseline_speedup < 1.0
+    assert by_count[8].optimized_speedup < 1.0

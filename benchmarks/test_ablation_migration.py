@@ -1,0 +1,16 @@
+"""Ablation bench: dynamic page migration vs static first touch."""
+
+from repro.experiments import ablation_migration
+
+
+def test_migration_ablation(run_once):
+    ablation = run_once(ablation_migration.run_migration_ablation)
+    print()
+    print(ablation_migration.report(ablation))
+
+    # Migration is a refinement, not a revolution: it must not wreck the
+    # optimized design (copy costs are charged), and it shouldn't change
+    # the overall picture by more than a few percent either way.
+    assert 0.9 < ablation.overall_speedup < 1.15
+    for category, value in ablation.per_category.items():
+        assert 0.85 < value < 1.25, category

@@ -1,0 +1,18 @@
+"""Ablation bench: page granularity for first-touch placement."""
+
+from repro.experiments import ablation_page_size
+
+
+def test_page_size_ablation(run_once):
+    points = run_once(ablation_page_size.run_page_size_ablation)
+    print()
+    print(ablation_page_size.report(points))
+
+    by_size = {p.page_bytes: p for p in points}
+    # The default page is the reference point.
+    assert by_size[2048].speedup == 1.0
+    # No sweep point should collapse: first touch is robust across an
+    # order of magnitude of page sizes.
+    assert all(p.speedup > 0.8 for p in points)
+    # Locality stays high everywhere on the optimized machine.
+    assert all(p.mean_locality > 0.5 for p in points)

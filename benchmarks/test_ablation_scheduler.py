@@ -1,0 +1,21 @@
+"""Ablation bench: scheduler policies on the optimized memory system."""
+
+from repro.experiments import ablation_scheduler
+
+
+def test_scheduler_ablation(run_once):
+    ablation = run_once(ablation_scheduler.run_scheduler_ablation)
+    print()
+    print(ablation_scheduler.report(ablation))
+
+    # First-touch placement needs the distributed scheduler's stable
+    # CTA->GPM binding: both locality-aware schedulers beat centralized.
+    assert ablation.overall["distributed"] > 1.05
+    assert ablation.overall["dynamic"] > 1.05
+    # The dynamic scheduler's stealing must at least hold the line overall...
+    assert ablation.overall["dynamic"] > ablation.overall["distributed"] * 0.97
+    # ...and on imbalanced workloads it should not trail static batching.
+    assert (
+        ablation.imbalanced_only["dynamic"]
+        > ablation.imbalanced_only["distributed"] * 0.97
+    )

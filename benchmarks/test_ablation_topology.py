@@ -1,0 +1,18 @@
+"""Ablation bench: ring vs fully-connected topology (Section 3.2 extension)."""
+
+from repro.experiments import topology_study
+
+
+def test_topology_study(run_once):
+    points = run_once(topology_study.run_topology_study)
+    print()
+    print(topology_study.report(points))
+
+    baseline = points["baseline"]
+    optimized = points["optimized"]
+    # At iso port budget, one-hop routing should not lose on the
+    # bandwidth-starved baseline (no pass-through traffic, lower latency).
+    assert baseline.overall > 0.95
+    # On the optimized machine almost all traffic is local, so topology
+    # barely matters.
+    assert 0.9 < optimized.overall < 1.1

@@ -1,0 +1,19 @@
+"""Figure 13: first-touch page placement (full optimization stack)."""
+
+from repro.experiments import fig13_ft
+
+
+def test_fig13(run_once):
+    variants = run_once(fig13_ft.run_fig13)
+    print()
+    print(fig13_ft.report(variants))
+
+    # Full stack with the 8 MB split: big memory-intensive gains
+    # (paper: +51%).
+    assert variants[8].m_geomean > 1.3
+    # Once first-touch keeps traffic local, the 8 MB L1.5 + 8 MB L2 split
+    # beats the 16 MB L1.5 + residual-L2 split (paper's key finding).
+    assert variants[8].m_geomean > variants[16].m_geomean
+    # All categories gain with the 8 MB split.
+    assert variants[8].c_geomean > 1.0
+    assert variants[8].limited_geomean > 1.0

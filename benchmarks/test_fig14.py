@@ -1,0 +1,15 @@
+"""Figure 14: inter-GPM bandwidth with first-touch placement."""
+
+from repro.experiments import fig14_ft_bw
+
+
+def test_fig14(run_once):
+    comparison = run_once(fig14_ft_bw.run_fig14)
+    print()
+    print(fig14_ft_bw.report(comparison))
+
+    # Headline: ~5x total traffic reduction for the optimized design.
+    assert comparison.reduction_factor > 3.0
+    # Several workloads nearly eliminate inter-GPM traffic.
+    final = [values[-1] for values in comparison.per_workload_tbps.values()]
+    assert sum(1 for value in final if value < 0.2) >= 3

@@ -1,0 +1,19 @@
+"""Figure 15: s-curve of optimized-MCM speedups over the full suite."""
+
+from repro.experiments import fig15_scurve
+
+
+def test_fig15(run_once):
+    scurve = run_once(fig15_scurve.run_fig15)
+    print()
+    print(fig15_scurve.report(scurve))
+
+    curve = scurve.curve
+    assert len(curve) == 48
+    # Most workloads improve, a handful degrade (paper: 31 up, 9 down).
+    assert scurve.improved >= 24
+    assert scurve.degraded >= 2
+    # The tail has multi-x winners (paper: up to 3.5x / 4.4x).
+    assert curve[-1] > 2.0
+    # The head has real losers (paper: down to ~0.75).
+    assert curve[0] < 0.97

@@ -1,0 +1,25 @@
+"""Figure 16: breakdown of the optimizations' contributions."""
+
+from repro.experiments import fig16_breakdown
+
+
+def test_fig16(run_once):
+    breakdown = run_once(fig16_breakdown.run_fig16)
+    print()
+    print(fig16_breakdown.report(breakdown))
+
+    speedups = breakdown.speedups
+    # L1.5 alone helps modestly (paper +5.2%).
+    assert 1.0 < speedups["l15-alone"] < 1.15
+    # DS alone and FT alone do little or hurt (paper +0.3% / -4.7%); the
+    # mechanisms only pay off combined.
+    assert speedups["ds-alone"] < 1.06
+    assert speedups["ft-alone"] < 1.06
+    # Combined: the paper's +22.8% headline.
+    assert speedups["optimized"] > 1.15
+    assert speedups["optimized"] > max(
+        speedups["l15-alone"], speedups["ds-alone"], speedups["ft-alone"]
+    )
+    # The optimized design approaches the unbuildable monolithic GPU
+    # (paper: within ~10%).
+    assert breakdown.gap_to_monolithic() < 1.30

@@ -1,0 +1,19 @@
+"""Figure 17: MCM-GPU vs multi-GPU."""
+
+from repro.experiments import fig17_multigpu
+
+
+def test_fig17(run_once):
+    comparison = run_once(fig17_multigpu.run_fig17)
+    print()
+    print(fig17_multigpu.report(comparison))
+
+    speedups = comparison.speedups
+    # The GPU-side remote cache helps the multi-GPU (paper: +25.1%).
+    assert speedups["multi-gpu-optimized"] > 1.05
+    # The optimized MCM-GPU beats the baseline multi-GPU clearly
+    # (paper: +51.9%) and the optimized multi-GPU too (paper: +26.8%).
+    assert speedups["mcm-optimized"] > speedups["multi-gpu-optimized"]
+    assert comparison.mcm_over_optimized_multi_gpu() > 1.1
+    # The on-package machine approaches the monolithic ceiling.
+    assert speedups["monolithic-256"] >= speedups["mcm-optimized"] * 0.95

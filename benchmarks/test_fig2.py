@@ -1,0 +1,22 @@
+"""Figure 2: GPU performance scaling with SM count."""
+
+from repro.experiments import fig2_scaling
+
+
+def test_fig2(run_once):
+    points = run_once(fig2_scaling.run_fig2, fig2_scaling.DEFAULT_SM_COUNTS)
+    print()
+    print(fig2_scaling.report(points))
+
+    by_sms = {p.n_sms: p for p in points}
+    # High-parallelism workloads keep scaling: a large fraction of linear
+    # at 256 SMs (paper: 87.8%).
+    assert by_sms[256].efficiency > 0.6
+    assert by_sms[256].high_parallelism > 4.0
+    # Limited-parallelism workloads plateau well below linear.
+    assert by_sms[256].limited_parallelism < 0.62 * by_sms[256].linear
+    # Monotone growth for the high-parallelism group.
+    highs = [p.high_parallelism for p in points]
+    assert all(b >= a * 0.98 for a, b in zip(highs, highs[1:]))
+    # Limited parallelism flattens: the last doubling adds little.
+    assert by_sms[256].limited_parallelism < by_sms[128].limited_parallelism * 1.4

@@ -1,0 +1,22 @@
+"""Figure 4: performance sensitivity to inter-GPM link bandwidth."""
+
+from repro.experiments import fig4_bandwidth
+
+
+def test_fig4(run_once):
+    points = run_once(fig4_bandwidth.run_fig4, fig4_bandwidth.DEFAULT_BANDWIDTHS)
+    print()
+    print(fig4_bandwidth.report(points))
+
+    by_bw = {p.link_bandwidth: p for p in points}
+    # 3 TB/s links are sufficient (paper: no further gain beyond 3 TB/s).
+    assert by_bw[3072.0].m_intensive > 0.95
+    # The baseline 768 GB/s setting costs M-intensive workloads heavily
+    # (paper: ~40% degradation) and 384 GB/s even more (~57%).
+    assert 0.45 < by_bw[768.0].m_intensive < 0.85
+    assert by_bw[384.0].m_intensive < by_bw[768.0].m_intensive
+    assert by_bw[384.0].m_intensive < 0.55
+    # Compute-intensive workloads are less sensitive than memory-intensive.
+    assert by_bw[768.0].c_intensive > by_bw[768.0].m_intensive
+    # Limited-parallelism workloads are the least sensitive.
+    assert by_bw[768.0].limited > by_bw[768.0].c_intensive

@@ -1,0 +1,26 @@
+"""Figure 6: L1.5 design-space exploration."""
+
+from repro.experiments import fig6_l15
+
+
+def test_fig6(run_once):
+    variants = run_once(fig6_l15.run_fig6, fig6_l15.DEFAULT_VARIANTS)
+    print()
+    print(fig6_l15.report(variants))
+
+    by_key = {(v.capacity_mb, v.remote_only): v for v in variants}
+    # The 16 MB remote-only iso-transistor point helps memory-intensive
+    # workloads (paper: +11.4%).
+    assert by_key[(16, True)].m_intensive_geomean > 1.05
+    # Capacity helps: 32 MB (non-iso) beats 16 MB beats 8 MB on M.
+    assert (
+        by_key[(32, True)].m_intensive_geomean
+        >= by_key[(16, True)].m_intensive_geomean
+        >= by_key[(8, True)].m_intensive_geomean
+    )
+    # Compute-intensive workloads barely move compared to M-intensive.
+    assert by_key[(16, True)].c_intensive_geomean < by_key[(16, True)].m_intensive_geomean
+    # The best iso-transistor point is one of the remote-only configs
+    # (paper: remote-only is the chosen allocation policy).
+    best = fig6_l15.best_iso_transistor(variants)
+    assert best.remote_only

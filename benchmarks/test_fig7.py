@@ -1,0 +1,19 @@
+"""Figure 7: inter-GPM bandwidth reduction from the L1.5 cache."""
+
+from repro.experiments import fig7_l15_bw
+
+
+def test_fig7(run_once):
+    comparison = run_once(fig7_l15_bw.run_fig7)
+    print()
+    print(fig7_l15_bw.report(comparison))
+
+    # The L1.5 must cut total inter-GPM traffic noticeably (paper: ~28%
+    # across the suite; we accept a broad band around that shape).
+    assert comparison.reduction_factor > 1.1
+    # Every category's average traffic goes down.
+    for category, values in comparison.category_avg_tbps.items():
+        assert values[1] <= values[0] * 1.02, category
+    # Baseline M-intensive traffic sits in the TB/s regime (paper fig 7).
+    m_avg_baseline = comparison.category_avg_tbps["M-Intensive"][0]
+    assert m_avg_baseline > 1.0

@@ -1,0 +1,17 @@
+"""Figure 9: distributed CTA scheduling on top of the L1.5."""
+
+from repro.experiments import fig9_ds
+
+
+def test_fig9(run_once):
+    result = run_once(fig9_ds.run_fig9)
+    print()
+    print(fig9_ds.report(result))
+
+    # L1.5 + DS clearly beats the baseline on memory-intensive workloads
+    # (paper: +23.4%) and more than the L1.5 did alone (+11.4%).
+    assert result.m_geomean > 1.12
+    # Compute-intensive gains stay modest relative to M-intensive.
+    assert result.c_geomean < result.m_geomean
+    # No category collapses.
+    assert result.limited_geomean > 0.9

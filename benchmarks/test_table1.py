@@ -1,0 +1,17 @@
+"""Table 1: key characteristics of recent NVIDIA GPUs."""
+
+from repro.experiments import table1_history
+
+
+def test_table1(run_once):
+    rows = run_once(table1_history.run_table1)
+    print()
+    print(table1_history.report())
+
+    # Shape checks: the trends the paper's motivation rests on.
+    assert len(rows) == 4
+    sms = [g.sms for g in rows]
+    assert sms[-1] > sms[0]  # SM counts grew across generations
+    transistors = [g.transistors_billion for g in rows]
+    assert all(b >= a for a, b in zip(transistors, transistors[1:]))
+    assert table1_history.die_size_headroom() > 0.7  # near the reticle limit

@@ -1,0 +1,15 @@
+"""Table 2: bandwidth and energy per integration domain."""
+
+from repro.experiments import table2_domains
+
+
+def test_table2(run_once):
+    rows = run_once(table2_domains.run_table2)
+    print()
+    print(table2_domains.report())
+
+    assert len(rows) == 4
+    assert table2_domains.bandwidth_monotone_decreasing()
+    assert table2_domains.energy_monotone_increasing()
+    # Package links sit an order of magnitude below board links in energy.
+    assert table2_domains.package_advantage_over_board() >= 10.0

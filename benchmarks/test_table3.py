@@ -1,0 +1,12 @@
+"""Table 3: baseline MCM-GPU configuration."""
+
+from repro.experiments import table3_baseline
+
+
+def test_table3(run_once):
+    rows = run_once(table3_baseline.run_table3)
+    print()
+    print(table3_baseline.report())
+
+    assert len(rows) >= 8
+    assert table3_baseline.matches_paper()

@@ -1,0 +1,19 @@
+"""Table 4: memory-intensive workloads and their footprints."""
+
+from repro.experiments import table4_workloads
+from repro.workloads.synthetic import Category
+
+
+def test_table4(run_once):
+    rows = run_once(table4_workloads.run_table4)
+    print()
+    print(table4_workloads.report())
+
+    assert len(rows) == 17
+    composition = table4_workloads.suite_composition()
+    assert composition["total"] == 48
+    assert composition[Category.M_INTENSIVE] == 17
+    # Footprints span the paper's range: tens of MB to multiple GB.
+    footprints = [row[3] for row in rows]
+    assert min(footprints) <= 40
+    assert max(footprints) >= 5000

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Inter-GPM bandwidth sensitivity study (the Figure 4 experiment).
+
+Sweeps the baseline MCM-GPU's link bandwidth across the paper's settings
+and shows how each workload category degrades, side by side with the
+Section 3.3.1 analytical sizing model's prediction of where the knee
+falls.
+
+Run with:  python examples/bandwidth_sensitivity.py [--fast]
+"""
+
+import sys
+
+from repro import baseline_mcm_gpu, required_link_bandwidth
+from repro.analysis.speedup import geomean_speedup
+from repro.experiments.common import filter_names, names_in_category, run_suite
+from repro.workloads.suite import suite_workloads
+from repro.workloads.synthetic import Category
+
+SETTINGS = [6144.0, 3072.0, 1536.0, 768.0, 384.0]
+
+
+def main():
+    fast = "--fast" in sys.argv
+    workloads = suite_workloads(fast_factor=0.25 if fast else None)
+
+    print("Analytical sizing (Section 3.3.1):")
+    requirement = required_link_bandwidth(n_gpms=4, dram_bandwidth_per_partition=768.0)
+    print(f"  per-GPM egress demand : {requirement.egress_per_gpm:7.0f} GB/s")
+    print(f"  per-GPM link demand   : {requirement.per_gpm_link_demand:7.0f} GB/s"
+          f"  (the paper's 4b = 3 TB/s)")
+    print(f"  -> settings below ~{requirement.per_gpm_link_demand / 2:.0f} GB/s per link throttle DRAM\n")
+
+    reference = run_suite(baseline_mcm_gpu(link_bandwidth=SETTINGS[0]), workloads)
+    categories = {
+        "M-Intensive": names_in_category(Category.M_INTENSIVE),
+        "C-Intensive": names_in_category(Category.C_INTENSIVE),
+        "Limited": names_in_category(Category.LIMITED_PARALLELISM),
+    }
+
+    print(f"{'link BW':>10} | " + " | ".join(f"{label:>12}" for label in categories))
+    print("-" * 60)
+    for setting in SETTINGS:
+        results = run_suite(baseline_mcm_gpu(link_bandwidth=setting), workloads)
+        cells = []
+        for names in categories.values():
+            relative = geomean_speedup(
+                filter_names(results, names), filter_names(reference, names)
+            )
+            cells.append(f"{relative:12.3f}")
+        print(f"{setting:8.0f}GB | " + " | ".join(cells))
+
+    print("\nPaper reference (M-Intensive): 1.00 / ~1.00 / ~0.88 / ~0.60 / ~0.43")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Design-space exploration beyond the paper's main configurations.
+
+Uses the library as a research tool: sweeps GPM count at fixed total SMs
+(2x128 vs 4x64 vs 8x32), L1.5 capacity splits, and page sizes for
+first-touch placement, reporting speedup over the Table 3 baseline for a
+few representative workloads.  This mirrors the kind of follow-on
+questions the paper leaves open (Section 5.2's dynamic CTA grouping,
+Section 3.2's topology note).
+
+Run with:  python examples/design_space.py
+"""
+
+from dataclasses import replace
+
+from repro import baseline_mcm_gpu, make_workload, optimized_mcm_gpu
+from repro.experiments.common import run_one
+
+WORKLOADS = ["CoMD", "SSSP", "Stream"]
+
+
+def sweep(title, configs):
+    print(f"=== {title} ===")
+    header = f"{'configuration':<34}" + "".join(f"{name:>10}" for name in WORKLOADS)
+    print(header)
+    baselines = {name: run_one(make_workload(name), baseline_mcm_gpu()) for name in WORKLOADS}
+    for label, config in configs:
+        cells = []
+        for name in WORKLOADS:
+            result = run_one(make_workload(name), config)
+            cells.append(f"{result.speedup_over(baselines[name]):10.3f}")
+        print(f"{label:<34}" + "".join(cells))
+    print()
+
+
+def main():
+    gpm_variants = []
+    for n in (2, 4, 8):
+        config = optimized_mcm_gpu(name=f"opt-{n}gpm")
+        config = replace(config, n_gpms=n, gpm=replace(config.gpm, n_sms=256 // n))
+        gpm_variants.append((f"{n} GPMs x {256 // n} SMs", config))
+    sweep("GPM count at 256 total SMs (optimized design)", gpm_variants)
+    sweep(
+        "L1.5 capacity split under DS + FT",
+        [
+            ("8MB L1.5 + 8MB L2 (paper's pick)", optimized_mcm_gpu(l15_total_mb=8)),
+            ("16MB L1.5 + residual L2", optimized_mcm_gpu(l15_total_mb=16)),
+        ],
+    )
+    sweep(
+        "Page size for first-touch placement",
+        [
+            (f"page {page}B (scaled)", replace(optimized_mcm_gpu(name=f"opt-pg{page}"), page_bytes=page))
+            for page in (512, 2048, 8192)
+        ],
+    )
+    sweep(
+        "Link bandwidth with all optimizations on",
+        [
+            (f"{int(bw)} GB/s links", optimized_mcm_gpu(link_bandwidth=bw))
+            for bw in (384.0, 768.0, 1536.0)
+        ],
+    )
+
+
+if __name__ == "__main__":
+    main()

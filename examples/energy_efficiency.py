@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Interconnect energy comparison (the Section 6.2 efficiency argument).
+
+MCM-GPUs integrate modules on package at 0.5 pJ/bit while multi-GPU
+boards pay 10 pJ/bit (Table 2).  This example quantifies the argument on
+real simulations: for a few workloads it reports each machine's
+inter-module traffic, the joules it costs at that machine's tier, and the
+combined performance+energy picture.
+
+Run with:  python examples/energy_efficiency.py [workload ...]
+"""
+
+import sys
+
+from repro import make_workload, multi_gpu, optimized_mcm_gpu
+from repro.experiments.common import run_one
+from repro.multigpu.system import compare_efficiency
+
+
+def main():
+    names = sys.argv[1:] or ["CoMD", "Kmeans", "BFS"]
+    mcm_cfg = optimized_mcm_gpu()
+    multi_cfg = multi_gpu(optimized=True)
+    print(f"{'workload':<12} {'MCM mJ':>9} {'multi mJ':>9} {'energy x':>9} {'perf x':>8}")
+    for name in names:
+        workload = make_workload(name)
+        mcm = run_one(workload, mcm_cfg)
+        multi = run_one(workload, multi_cfg)
+        comparison = compare_efficiency(mcm, multi)
+        print(
+            f"{name:<12} "
+            f"{comparison.mcm_inter_module_joules * 1e3:9.3f} "
+            f"{comparison.multi_gpu_inter_module_joules * 1e3:9.3f} "
+            f"{comparison.energy_advantage:9.1f} "
+            f"{comparison.speedup:8.2f}"
+        )
+    print(
+        "\n(energy x = multi-GPU interconnect joules / MCM interconnect joules;"
+        "\n perf x  = MCM speedup over the optimized multi-GPU)"
+    )
+
+
+if __name__ == "__main__":
+    main()

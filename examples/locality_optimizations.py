@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Step-by-step effect of the three locality optimizations (Section 5).
+
+Starts from the baseline MCM-GPU and adds, one at a time and combined:
+
+  1. the GPM-side remote-only L1.5 cache,
+  2. distributed (batched) CTA scheduling,
+  3. first-touch page placement,
+
+printing per-category speedups and the inter-GPM traffic after each step —
+the story told by Figures 6, 9, 13, 14 and 16.
+
+Run with:  python examples/locality_optimizations.py [workload ...]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro import baseline_mcm_gpu, make_workload, mcm_gpu_with_l15, optimized_mcm_gpu
+from repro.experiments.common import run_one
+
+STEPS = [
+    ("baseline (Table 3)", baseline_mcm_gpu()),
+    ("+ L1.5 (16MB remote-only)", mcm_gpu_with_l15(16, remote_only=True)),
+    ("+ distributed scheduling", mcm_gpu_with_l15(16, remote_only=True, scheduler="distributed")),
+    ("+ first touch (8MB split)", optimized_mcm_gpu()),
+    ("DS alone", replace(baseline_mcm_gpu(name="mcm-ds-only"), scheduler="distributed")),
+    ("FT alone", replace(baseline_mcm_gpu(name="mcm-ft-only"), placement="first_touch")),
+]
+
+
+def main():
+    names = sys.argv[1:] or ["CoMD", "SSSP", "Kmeans", "DWT"]
+    for name in names:
+        workload = make_workload(name)
+        print(f"=== {name} ({workload.category.value}) ===")
+        baseline = run_one(workload, STEPS[0][1])
+        print(f"{'configuration':<28} {'speedup':>8} {'inter-GPM TB/s':>15} "
+              f"{'remote':>7} {'L1.5 hit':>9}")
+        for label, config in STEPS:
+            result = run_one(workload, config)
+            print(
+                f"{label:<28} {result.speedup_over(baseline):8.3f} "
+                f"{result.inter_gpm_tbps:15.2f} "
+                f"{result.remote_access_fraction:7.1%} "
+                f"{result.l15.hit_rate:9.1%}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""MCM-GPU vs multi-GPU vs monolithic (the Section 6 comparison).
+
+Builds four 256-SM machines — a two-GPU board system (baseline and
+optimized with a GPU-side remote cache), the optimized MCM-GPU, and the
+unbuildable 256-SM monolithic GPU — and compares performance and
+interconnect energy on a few representative workloads, plus the suite
+geomean if --full is given.
+
+Run with:  python examples/mcm_vs_multigpu.py [--full]
+"""
+
+import sys
+
+from repro import make_workload, monolithic_gpu, multi_gpu, optimized_mcm_gpu
+from repro.analysis.speedup import geomean_speedup
+from repro.experiments.common import run_one, run_suite
+
+SYSTEMS = [
+    ("multi-GPU baseline", multi_gpu(optimized=False)),
+    ("multi-GPU optimized", multi_gpu(optimized=True)),
+    ("MCM-GPU optimized", optimized_mcm_gpu()),
+    ("monolithic 256 SM", monolithic_gpu(256)),
+]
+
+
+def per_workload(names):
+    for name in names:
+        workload = make_workload(name)
+        print(f"=== {name} ===")
+        baseline = run_one(workload, SYSTEMS[0][1])
+        for label, config in SYSTEMS:
+            result = run_one(workload, config)
+            energy = result.energy
+            print(
+                f"{label:<22} speedup {result.speedup_over(baseline):6.3f}   "
+                f"link traffic {result.link_bytes / 1e6:8.1f} MB   "
+                f"interconnect energy {energy.inter_module_joules * 1e3:8.3f} mJ"
+            )
+        print()
+
+
+def full_suite():
+    print("=== suite geomean (48 workloads) vs baseline multi-GPU ===")
+    baseline = run_suite(SYSTEMS[0][1])
+    for label, config in SYSTEMS[1:]:
+        speedup = geomean_speedup(run_suite(config), baseline)
+        print(f"{label:<22} {speedup:6.3f}")
+    print("paper: optimized multi-GPU +25.1%, optimized MCM-GPU +51.9%")
+
+
+def main():
+    per_workload(["CoMD", "Stream", "BFS"])
+    if "--full" in sys.argv:
+        full_suite()
+
+
+if __name__ == "__main__":
+    main()

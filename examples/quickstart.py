@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one workload on the paper's key machines.
+
+Runs the Stream triad benchmark on the baseline MCM-GPU (Table 3), the
+fully optimized MCM-GPU (Section 5.4), and the largest buildable
+monolithic GPU, then prints the headline metrics the paper reasons about:
+execution cycles, inter-GPM bandwidth, remote-access fraction, cache hit
+rates, and data-movement energy.
+
+Run with:  python examples/quickstart.py [workload-name]
+"""
+
+import sys
+
+from repro import baseline_mcm_gpu, make_workload, monolithic_gpu, optimized_mcm_gpu, simulate
+
+
+def describe(label, result):
+    energy = result.energy
+    print(f"--- {label} ---")
+    print(f"  cycles              : {result.cycles:12,.0f}")
+    print(f"  CTAs / kernels      : {result.ctas} / {result.kernels}")
+    print(f"  loads / stores      : {result.loads:,} / {result.stores:,}")
+    print(f"  L1 / L1.5 / L2 hit  : {result.l1.hit_rate:.1%} / "
+          f"{result.l15.hit_rate:.1%} / {result.l2.hit_rate:.1%}")
+    print(f"  remote accesses     : {result.remote_access_fraction:.1%}")
+    print(f"  inter-GPM bandwidth : {result.inter_gpm_bandwidth:8,.0f} GB/s "
+          f"({result.inter_gpm_tbps:.2f} TB/s)")
+    print(f"  DRAM traffic        : {result.dram_bytes / 1e6:8.1f} MB")
+    print(f"  interconnect energy : {energy.inter_module_joules * 1e3:8.3f} mJ "
+          f"({energy.inter_module_tier.value} tier)")
+    print()
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "Stream"
+    workload = make_workload(name)
+    print(f"Simulating {name!r} ({workload.category.value}, "
+          f"{workload.spec.n_ctas} CTAs, "
+          f"{workload.spec.footprint_bytes // 1024} KB scaled footprint)\n")
+
+    baseline = simulate(workload, baseline_mcm_gpu())
+    describe("baseline MCM-GPU (Table 3)", baseline)
+
+    optimized = simulate(workload, optimized_mcm_gpu())
+    describe("optimized MCM-GPU (L1.5 + DS + FT)", optimized)
+
+    mono = simulate(workload, monolithic_gpu(128))
+    describe("largest buildable monolithic GPU (128 SMs)", mono)
+
+    print(f"optimized vs baseline speedup : {optimized.speedup_over(baseline):.3f}x")
+    print(f"optimized vs monolithic-128   : "
+          f"{mono.cycles / optimized.cycles:.3f}x")
+    reduction = baseline.link_bytes / max(1, optimized.link_bytes)
+    print(f"inter-GPM traffic reduction   : {reduction:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Characterize the 48-workload suite without running timing simulations.
+
+Prints, per workload, the trace-level properties behind the paper's
+Section 4 classification — memory intensity, store fraction, inter-CTA
+sharing, hot-set concentration — grouped by category, so the suite's
+composition claims can be audited directly.
+
+Run with:  python examples/suite_characterization.py [--full]
+           (default samples 24 CTAs per workload; --full samples 64)
+"""
+
+import sys
+
+from repro.workloads.characterize import profile_spec
+from repro.workloads.suite import specs_by_category
+from repro.workloads.synthetic import Category
+
+
+def main():
+    max_ctas = 64 if "--full" in sys.argv else 24
+    for category in Category:
+        print(f"=== {category.value} ===")
+        print(
+            f"{'workload':<14} {'pattern':<14} {'mem-int':>8} {'stores':>7} "
+            f"{'shared':>7} {'hot10%':>7} {'coverage':>9}"
+        )
+        for spec in specs_by_category()[category]:
+            profile = profile_spec(spec, max_ctas=max_ctas)
+            intensity = profile.memory_intensity
+            print(
+                f"{spec.name:<14} {spec.pattern:<14} {intensity:8.3f} "
+                f"{profile.store_fraction:7.1%} {profile.shared_line_fraction:7.1%} "
+                f"{profile.hot_concentration:7.1%} {profile.footprint_coverage:9.1%}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Run one paper experiment and print its table/series.
+
+Usage:
+    python scripts/run_experiment.py            # list experiments
+    python scripts/run_experiment.py fig4       # run Figure 4
+    python scripts/run_experiment.py all        # run everything (slow)
+
+Results come from the shared disk cache when available, so re-running an
+experiment after a benchmark session is instant.
+"""
+
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+
+
+def run(exp_id: str) -> None:
+    module, entry = EXPERIMENTS[exp_id]
+    start = time.time()
+    result = getattr(module, entry)()
+    elapsed = time.time() - start
+    report = getattr(module, "report")
+    try:
+        text = report(result)
+    except TypeError:
+        text = report()  # static tables take no argument
+    print(text)
+    print(f"\n[{exp_id}: {elapsed:.1f}s]\n")
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    if not args:
+        print("available experiments:")
+        for exp_id, (module, _) in EXPERIMENTS.items():
+            summary = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"  {exp_id:<8} {summary}")
+        print("\nusage: python scripts/run_experiment.py <id> [<id> ...] | all")
+        return 0
+    if args == ["all"]:
+        args = list(EXPERIMENTS)
+    unknown = [arg for arg in args if arg not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 1
+    for exp_id in args:
+        run(exp_id)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

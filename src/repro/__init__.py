@@ -1,0 +1,57 @@
+"""repro — reproduction of *MCM-GPU: Multi-Chip-Module GPUs for Continued
+Performance Scalability* (Arunkumar et al., ISCA 2017).
+
+Public API quick tour::
+
+    from repro import baseline_mcm_gpu, optimized_mcm_gpu, simulate
+
+    baseline = simulate("Stream", baseline_mcm_gpu())
+    optimized = simulate("Stream", optimized_mcm_gpu())
+    print(optimized.speedup_over(baseline))
+
+See README.md for the architecture overview and DESIGN.md for the
+per-experiment index.
+"""
+
+from .core.analytical import required_link_bandwidth
+from .core.config import MEMORY_SCALE, CacheConfig, GPMConfig, SMConfig, SystemConfig
+from .core.gpu import GPUSystem, build_system
+from .core.presets import (
+    baseline_mcm_gpu,
+    mcm_gpu_with_l15,
+    monolithic_gpu,
+    multi_gpu,
+    optimized_mcm_gpu,
+)
+from .sim.result import SimResult
+from .sim.simulator import Simulator, simulate
+from .workloads.suite import all_specs, make_workload, suite_workloads
+from .workloads.synthetic import Category, SyntheticWorkload, WorkloadSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "required_link_bandwidth",
+    "MEMORY_SCALE",
+    "CacheConfig",
+    "GPMConfig",
+    "SMConfig",
+    "SystemConfig",
+    "GPUSystem",
+    "build_system",
+    "baseline_mcm_gpu",
+    "mcm_gpu_with_l15",
+    "monolithic_gpu",
+    "multi_gpu",
+    "optimized_mcm_gpu",
+    "SimResult",
+    "Simulator",
+    "simulate",
+    "all_specs",
+    "make_workload",
+    "suite_workloads",
+    "Category",
+    "SyntheticWorkload",
+    "WorkloadSpec",
+    "__version__",
+]

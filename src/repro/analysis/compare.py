@@ -1,0 +1,96 @@
+"""Multi-configuration comparison matrices.
+
+Builds the per-workload comparison tables used throughout the evaluation:
+rows are workloads (grouped by category), columns are system
+configurations, cells are speedups over a designated baseline column —
+the layout of Figures 6, 9 and 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..sim.result import SimResult
+from ..workloads.suite import specs_by_category
+from ..workloads.synthetic import Category
+from .report import format_table
+from .speedup import geomean
+
+
+@dataclass(frozen=True)
+class ComparisonMatrix:
+    """Speedup matrix: workloads x configurations, relative to a baseline."""
+
+    baseline_label: str
+    column_labels: List[str]
+    rows: Dict[str, List[float]]
+    category_geomeans: Dict[str, List[float]]
+
+    def column(self, label: str) -> Dict[str, float]:
+        """Per-workload speedups of one configuration."""
+        index = self.column_labels.index(label)
+        return {name: values[index] for name, values in self.rows.items()}
+
+    def best_configuration(self) -> str:
+        """Configuration with the highest overall geomean."""
+        overall = [
+            geomean(values[index] for values in self.rows.values())
+            for index in range(len(self.column_labels))
+        ]
+        return self.column_labels[overall.index(max(overall))]
+
+
+def build_matrix(
+    baseline: Mapping[str, SimResult],
+    configurations: Mapping[str, Mapping[str, SimResult]],
+    baseline_label: str = "baseline",
+    workload_order: Optional[Sequence[str]] = None,
+) -> ComparisonMatrix:
+    """Assemble a :class:`ComparisonMatrix`.
+
+    ``configurations`` maps column label -> results keyed by workload name.
+    Workloads missing from any configuration are dropped (comparisons must
+    be complete rows).
+    """
+    if not configurations:
+        raise ValueError("need at least one configuration to compare")
+    labels = list(configurations)
+    names = list(workload_order) if workload_order is not None else list(baseline)
+    rows: Dict[str, List[float]] = {}
+    for name in names:
+        if name not in baseline:
+            continue
+        if any(name not in results for results in configurations.values()):
+            continue
+        rows[name] = [
+            configurations[label][name].speedup_over(baseline[name]) for label in labels
+        ]
+
+    category_geomeans: Dict[str, List[float]] = {}
+    grouped = specs_by_category()
+    for category in Category:
+        members = [spec.name for spec in grouped[category] if spec.name in rows]
+        if not members:
+            continue
+        category_geomeans[category.value] = [
+            geomean(rows[name][index] for name in members)
+            for index in range(len(labels))
+        ]
+    return ComparisonMatrix(
+        baseline_label=baseline_label,
+        column_labels=labels,
+        rows=rows,
+        category_geomeans=category_geomeans,
+    )
+
+
+def render_matrix(matrix: ComparisonMatrix, title: str = "comparison") -> str:
+    """Render a matrix with per-category geomean footer rows."""
+    headers = ["Workload"] + matrix.column_labels
+    body: List[List[object]] = [
+        [name] + values for name, values in matrix.rows.items()
+    ]
+    for category, values in matrix.category_geomeans.items():
+        body.append([f"[{category} geomean]"] + values)
+    return format_table(headers, body, title=f"{title} (speedup over {matrix.baseline_label})")

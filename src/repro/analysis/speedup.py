@@ -1,0 +1,87 @@
+"""Speedup aggregation helpers.
+
+The paper reports per-application speedups and *geometric-mean* category
+summaries ("GeoMean" columns of Figures 6, 9, 13).  These helpers keep
+that math in one place and guard against the usual mistakes (empty sets,
+mismatched workloads, arithmetic means of ratios).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from ..sim.result import SimResult
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; rejects empty input and non-positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(value <= 0 for value in values):
+        raise ValueError(f"geomean requires positive values, got {values}")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def speedups(
+    results: Mapping[str, SimResult],
+    baselines: Mapping[str, SimResult],
+) -> Dict[str, float]:
+    """Per-workload speedup of ``results`` over ``baselines``.
+
+    Both mappings are keyed by workload name; only workloads present in
+    both are compared (missing baselines are an error — silent drops would
+    skew geomeans).
+    """
+    out: Dict[str, float] = {}
+    for name, result in results.items():
+        if name not in baselines:
+            raise KeyError(f"no baseline result for workload {name!r}")
+        out[name] = result.speedup_over(baselines[name])
+    return out
+
+
+def geomean_speedup(
+    results: Mapping[str, SimResult],
+    baselines: Mapping[str, SimResult],
+) -> float:
+    """Geometric-mean speedup across all common workloads."""
+    return geomean(speedups(results, baselines).values())
+
+
+def average_bandwidth_tbps(results: Mapping[str, SimResult]) -> float:
+    """Arithmetic mean of inter-module bandwidth in TB/s (Figure 7 style)."""
+    values = [result.inter_gpm_tbps for result in results.values()]
+    if not values:
+        raise ValueError("no results to average")
+    return sum(values) / len(values)
+
+
+def bandwidth_reduction_factor(
+    baseline: Mapping[str, SimResult],
+    optimized: Mapping[str, SimResult],
+) -> float:
+    """How many times less inter-module traffic the optimized runs move.
+
+    Computed on summed traffic volumes (the paper's "5x inter-GPM
+    bandwidth reduction" headline is an aggregate figure).
+    """
+    base_bytes = sum(result.link_bytes for result in baseline.values())
+    opt_bytes = sum(optimized[name].link_bytes for name in baseline)
+    if opt_bytes == 0:
+        return math.inf
+    return base_bytes / opt_bytes
+
+
+def sorted_speedup_curve(per_workload: Mapping[str, float]) -> List[float]:
+    """Speedups sorted ascending — the Figure 15 s-curve series."""
+    return sorted(per_workload.values())
+
+
+def fraction_above(per_workload: Mapping[str, float], threshold: float = 1.0) -> float:
+    """Fraction of workloads whose speedup exceeds ``threshold``."""
+    if not per_workload:
+        raise ValueError("no speedups given")
+    above = sum(1 for value in per_workload.values() if value > threshold)
+    return above / len(per_workload)

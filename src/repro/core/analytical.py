@@ -1,0 +1,111 @@
+"""Analytical on-package bandwidth sizing model (Section 3.3.1).
+
+The paper sizes inter-GPM links from first principles before simulating:
+with ``n`` GPMs, per-partition DRAM bandwidth ``b``, and an L2 hit rate
+``h``, each memory-side L2 slice supplies ``b / (1 - h)`` of demand
+bandwidth (``2b`` at the assumed ~50% hit rate).  Under a statistically
+uniform address distribution a fraction ``(n-1)/n`` of each slice's supply
+is consumed by remote GPMs, and on a ring every message additionally
+occupies one link per hop.
+
+The headline result reproduced here: for the 4-GPM, 3 TB/s machine the
+bandwidth demand through each GPM's ring ports is ``4b`` (= 3 TB/s), so
+"link bandwidth settings of less than 3 TB/s are expected to result in
+performance degradation due to NUMA effects" — which Figure 4 then
+confirms in simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def supply_bandwidth_per_partition(dram_bandwidth_per_partition: float, l2_hit_rate: float) -> float:
+    """Demand bandwidth one memory-side L2 slice can satisfy.
+
+    A hit rate of ``h`` amplifies DRAM bandwidth by ``1 / (1 - h)``: for
+    every miss serviced by DRAM, ``h / (1 - h)`` further requests are
+    served from the cache.
+    """
+    if not 0.0 <= l2_hit_rate < 1.0:
+        raise ValueError(f"l2_hit_rate must be in [0, 1), got {l2_hit_rate}")
+    return dram_bandwidth_per_partition / (1.0 - l2_hit_rate)
+
+
+def ring_average_hops(n_gpms: int) -> float:
+    """Mean shortest-path hop count between distinct nodes of a ring."""
+    if n_gpms <= 1:
+        return 0.0
+    total = 0
+    for distance in range(1, n_gpms):
+        total += min(distance, n_gpms - distance)
+    return total / (n_gpms - 1)
+
+
+@dataclass(frozen=True)
+class BandwidthRequirement:
+    """Output of the sizing model, all figures in GB/s (== bytes/cycle)."""
+
+    #: Traffic leaving each GPM for remote consumers.
+    egress_per_gpm: float
+    #: Traffic arriving at each GPM from remote suppliers.
+    ingress_per_gpm: float
+    #: Total link-hop volume across the whole ring (egress x average hops).
+    total_link_hop_volume: float
+    #: Bandwidth demand through one GPM's ring ports — the quantity that
+    #: must not exceed the GPM's aggregate link bandwidth.
+    per_gpm_link_demand: float
+    #: Average volume per directional link.
+    per_link_volume: float
+
+
+def required_link_bandwidth(
+    n_gpms: int,
+    dram_bandwidth_per_partition: float,
+    l2_hit_rate: float = 0.5,
+) -> BandwidthRequirement:
+    """Size the inter-GPM links for full DRAM utilization (Section 3.3.1).
+
+    For ``n_gpms=4``, ``b=768`` GB/s, ``h=0.5`` this reproduces the paper's
+    ``4b`` (3 TB/s) per-GPM demand: each slice supplies ``2b``; ``3/4`` of
+    that is remote, so egress = ingress = ``1.5b`` per GPM; the 4/3 average
+    hop count adds pass-through traffic, and the volume through each GPM's
+    four directional ring ports works out to ``4b``.
+    """
+    if n_gpms <= 0:
+        raise ValueError(f"n_gpms must be positive, got {n_gpms}")
+    supply = supply_bandwidth_per_partition(dram_bandwidth_per_partition, l2_hit_rate)
+    if n_gpms == 1:
+        return BandwidthRequirement(0.0, 0.0, 0.0, 0.0, 0.0)
+    remote_fraction = (n_gpms - 1) / n_gpms
+    egress = supply * remote_fraction
+    total_egress = egress * n_gpms
+    avg_hops = ring_average_hops(n_gpms)
+    total_volume = total_egress * avg_hops
+    n_links = 2 * n_gpms  # two directions per adjacent pair
+    per_link = total_volume / n_links
+    # Each GPM touches four directional links (in/out, both neighbors).
+    per_gpm = per_link * 4
+    return BandwidthRequirement(
+        egress_per_gpm=egress,
+        ingress_per_gpm=egress,
+        total_link_hop_volume=total_volume,
+        per_gpm_link_demand=per_gpm,
+        per_link_volume=per_link,
+    )
+
+
+def expected_slowdown_bound(
+    link_bandwidth_per_gpm: float,
+    required_per_gpm: float,
+) -> float:
+    """Upper bound on achievable throughput fraction from link sizing alone.
+
+    If the links provide less than the required bandwidth, DRAM cannot be
+    kept busy and throughput of a bandwidth-bound workload is capped at
+    ``provided / required``.  Values >= 1 mean the links are not the
+    bottleneck.
+    """
+    if required_per_gpm <= 0:
+        return 1.0
+    return min(1.0, link_bandwidth_per_gpm / required_per_gpm)

@@ -1,0 +1,182 @@
+"""Configuration dataclasses for every simulated system.
+
+All bandwidths are expressed in **bytes per cycle**.  The simulator runs at
+the paper's 1 GHz GPU clock (Table 3), so a figure quoted in GB/s converts
+numerically 1:1 (768 GB/s == 768 bytes/cycle), which keeps configurations
+directly comparable against the paper's text.
+
+Capacities honor a global :data:`MEMORY_SCALE` so the pure-Python simulator
+can run workloads whose *footprint-to-capacity ratios* match the paper
+without simulating multi-gigabyte traces; see DESIGN.md ("Substitutions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..memory.cache import AllocationPolicy, WritePolicy
+
+#: Scale factor applied to cache capacities and workload footprints.  The
+#: ratio between them — what drives hit rates — is preserved exactly.
+MEMORY_SCALE = 1.0 / 32.0
+
+#: Simulation clock in Hz; used only for unit conversions in reports.
+CLOCK_HZ = 1.0e9
+
+#: Bumped whenever a timing-model constant changes (packet overheads,
+#: channel structure, ...).  Included in configuration digests so the disk
+#: result cache never serves results from an older model.
+MODEL_REV = 5
+
+
+def scaled_bytes(full_size_bytes: int, scale: float = MEMORY_SCALE) -> int:
+    """Apply the memory scale to a capacity, keeping at least one line."""
+    return max(128, int(full_size_bytes * scale))
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and policies of one cache level.
+
+    ``size_bytes`` of zero disables the level (it misses on every access),
+    which lets experiment code sweep a level out without restructuring the
+    hierarchy.
+    """
+
+    size_bytes: int
+    ways: int = 16
+    line_bytes: int = 128
+    hit_latency: float = 30.0
+    write_policy: WritePolicy = WritePolicy.WRITE_BACK
+    allocation: AllocationPolicy = AllocationPolicy.ALL
+
+    def scaled(self, scale: float = MEMORY_SCALE) -> "CacheConfig":
+        """Return a copy with capacity scaled by ``scale`` (zero stays zero)."""
+        if self.size_bytes == 0:
+            return self
+        return replace(self, size_bytes=scaled_bytes(self.size_bytes, scale))
+
+
+@dataclass(frozen=True)
+class SMConfig:
+    """Streaming-multiprocessor parameters.
+
+    The simulator executes *warp groups* rather than individual warps: one
+    group stands for ``warps_per_group`` paper warps advancing together.
+    Table 3's 64 warps/SM becomes 8 groups of 8.
+    """
+
+    l1: CacheConfig
+    warp_groups: int = 8
+    warps_per_group: int = 8
+    issue_throughput: float = 4.0
+    max_resident_ctas: int = 4
+
+    @property
+    def max_warps(self) -> int:
+        """Paper-equivalent warp capacity of the SM."""
+        return self.warp_groups * self.warps_per_group
+
+
+@dataclass(frozen=True)
+class GPMConfig:
+    """One GPU module: SMs, GPM-side L1.5, memory-side L2, local DRAM."""
+
+    n_sms: int
+    sm: SMConfig
+    l2: CacheConfig
+    l15: Optional[CacheConfig] = None
+    dram_bandwidth: float = 768.0
+    dram_latency: float = 100.0
+    xbar_latency: float = 5.0
+    #: Extra lookup latency charged to remote requests that miss in the
+    #: L1.5 (the tag check sits on the critical path before the ring).
+    l15_miss_penalty: float = 8.0
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A complete simulated GPU: one or more GPMs behind a ring network.
+
+    The same structure describes all four machine classes of the paper:
+
+    * ``n_gpms=4`` with on-package link parameters — the MCM-GPU;
+    * ``n_gpms=1`` — a monolithic GPU (links unused);
+    * ``n_gpms=2`` with board-class link parameters — a multi-GPU system;
+    * any of the above with ``scheduler``/``placement``/``l15`` toggled —
+      the paper's optimization studies.
+    """
+
+    name: str
+    n_gpms: int
+    gpm: GPMConfig
+    link_bandwidth: float = 768.0
+    hop_latency: float = 32.0
+    scheduler: str = "centralized"
+    placement: str = "interleave"
+    page_bytes: int = 1024
+    line_bytes: int = 128
+    #: Integration tier of the inter-module links ("package" for MCM rings,
+    #: "board" for multi-GPU); selects the energy cost per bit (Table 2).
+    link_tier: str = "package"
+    #: Inter-GPM topology: "ring" (the paper's baseline) or
+    #: "fully_connected" (the Section 3.2 alternative explored by the
+    #: topology_study experiment).
+    topology: str = "ring"
+
+    def __post_init__(self) -> None:
+        if self.n_gpms <= 0:
+            raise ValueError(f"n_gpms must be positive, got {self.n_gpms}")
+        if self.n_gpms > 1 and self.link_bandwidth <= 0:
+            raise ValueError("multi-module systems need positive link bandwidth")
+        if self.scheduler not in ("centralized", "distributed", "dynamic"):
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        if self.topology not in ("ring", "fully_connected"):
+            raise ValueError(f"unknown topology {self.topology!r}")
+
+    @property
+    def total_sms(self) -> int:
+        """SM count across all GPMs."""
+        return self.n_gpms * self.gpm.n_sms
+
+    @property
+    def total_dram_bandwidth(self) -> float:
+        """Aggregate DRAM bandwidth in bytes/cycle (== GB/s at 1 GHz)."""
+        return self.n_gpms * self.gpm.dram_bandwidth
+
+    @property
+    def total_l2_bytes(self) -> int:
+        """Aggregate memory-side L2 capacity."""
+        return self.n_gpms * self.gpm.l2.size_bytes
+
+    @property
+    def total_l15_bytes(self) -> int:
+        """Aggregate GPM-side L1.5 capacity (zero when the level is absent)."""
+        if self.gpm.l15 is None:
+            return 0
+        return self.n_gpms * self.gpm.l15.size_bytes
+
+    @property
+    def max_resident_ctas(self) -> int:
+        """CTAs the whole machine can hold concurrently."""
+        return self.total_sms * self.gpm.sm.max_resident_ctas
+
+    def digest(self) -> str:
+        """Stable string identifying this configuration (for result caches)."""
+        l15 = self.gpm.l15
+        l15_part = (
+            "none"
+            if l15 is None or l15.size_bytes == 0
+            else f"{l15.size_bytes}:{l15.allocation.value}"
+        )
+        l15_lat = 0.0 if l15 is None else l15.hit_latency
+        return (
+            f"r{MODEL_REV}|{self.name}|g{self.n_gpms}x{self.gpm.n_sms}"
+            f"|l1:{self.gpm.sm.l1.size_bytes}|l15:{l15_part}"
+            f"|l2:{self.gpm.l2.size_bytes}"
+            f"|lat:{self.gpm.sm.l1.hit_latency}:{l15_lat}:{self.gpm.l2.hit_latency}"
+            f"|dram:{self.gpm.dram_bandwidth}@{self.gpm.dram_latency}"
+            f"|link:{self.link_bandwidth}@{self.hop_latency}:{self.topology}"
+            f"|sched:{self.scheduler}|place:{self.placement}|pg:{self.page_bytes}"
+        )

@@ -1,0 +1,102 @@
+"""Data-movement energy model (Table 2 of the paper).
+
+The paper's efficiency argument (Sections 2.3 and 6.2) rests on the energy
+cost per bit of each integration tier: on-chip wires at 80 fJ/bit,
+on-package GRS links at 0.5 pJ/bit, on-board links at 10 pJ/bit, and
+system-level interconnect at 250 pJ/bit.  This module turns the byte
+counters a simulation produces into an interconnect-energy breakdown so the
+MCM-vs-multi-GPU comparison can be made in joules as well as cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict
+
+
+class IntegrationTier(Enum):
+    """The four integration domains of Table 2."""
+
+    CHIP = "chip"
+    PACKAGE = "package"
+    BOARD = "board"
+    SYSTEM = "system"
+
+
+#: Energy per bit for each tier, in picojoules (Table 2).
+ENERGY_PJ_PER_BIT: Dict[IntegrationTier, float] = {
+    IntegrationTier.CHIP: 0.080,
+    IntegrationTier.PACKAGE: 0.5,
+    IntegrationTier.BOARD: 10.0,
+    IntegrationTier.SYSTEM: 250.0,
+}
+
+#: Approximate peak bandwidth available in each tier (GB/s), as quoted in
+#: Table 2 ("10s TB/s" on chip, 1.5 TB/s package, 256 GB/s board,
+#: 12.5 GB/s system).
+TIER_BANDWIDTH_GBPS: Dict[IntegrationTier, float] = {
+    IntegrationTier.CHIP: 20000.0,
+    IntegrationTier.PACKAGE: 1500.0,
+    IntegrationTier.BOARD: 256.0,
+    IntegrationTier.SYSTEM: 12.5,
+}
+
+#: DRAM array access energy, pJ/bit — not in Table 2, but needed so total
+#: memory-system energy is not dominated by a free DRAM.  Typical HBM-class
+#: figure.
+DRAM_PJ_PER_BIT = 4.0
+
+
+def energy_joules(n_bytes: float, tier: IntegrationTier) -> float:
+    """Energy to move ``n_bytes`` across one tier's interconnect."""
+    return n_bytes * 8.0 * ENERGY_PJ_PER_BIT[tier] * 1e-12
+
+
+def dram_energy_joules(n_bytes: float) -> float:
+    """Energy for ``n_bytes`` of DRAM array traffic."""
+    return n_bytes * 8.0 * DRAM_PJ_PER_BIT * 1e-12
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Interconnect + DRAM energy of one simulation, in joules."""
+
+    on_chip_joules: float
+    inter_module_joules: float
+    dram_joules: float
+    inter_module_tier: IntegrationTier
+
+    @property
+    def total_joules(self) -> float:
+        """All accounted data-movement energy."""
+        return self.on_chip_joules + self.inter_module_joules + self.dram_joules
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary for reports."""
+        return {
+            "on_chip_joules": self.on_chip_joules,
+            "inter_module_joules": self.inter_module_joules,
+            "dram_joules": self.dram_joules,
+            "total_joules": self.total_joules,
+            "inter_module_tier": self.inter_module_tier.value,
+        }
+
+
+def breakdown_from_traffic(
+    on_chip_bytes: float,
+    inter_module_bytes: float,
+    dram_bytes: float,
+    inter_module_tier: IntegrationTier = IntegrationTier.PACKAGE,
+) -> EnergyBreakdown:
+    """Build an :class:`EnergyBreakdown` from raw byte counters.
+
+    ``inter_module_tier`` selects the per-bit cost of the link traffic:
+    PACKAGE for MCM-GPU ring traffic, BOARD for multi-GPU traffic.
+    """
+    return EnergyBreakdown(
+        on_chip_joules=energy_joules(on_chip_bytes, IntegrationTier.CHIP),
+        inter_module_joules=energy_joules(inter_module_bytes, inter_module_tier),
+        dram_joules=dram_energy_joules(dram_bytes),
+        inter_module_tier=inter_module_tier,
+    )

@@ -1,0 +1,100 @@
+"""GPU module (GPM): a cluster of SMs with its memory-system slice.
+
+Mirrors Figure 3/5 of the paper: each GPM holds SMs with private L1s, an
+optional GPM-side L1.5 cache (the Section 5.1 addition), a memory-side L2
+slice that caches only the local DRAM partition, the partition itself, and
+a crossbar that fronts the ring.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..interconnect.crossbar import GPMCrossbar
+from ..memory.cache import AllocationPolicy, CacheStats, SetAssocCache
+from ..memory.dram import DRAMPartition
+from .config import GPMConfig
+from .sm import SM
+
+
+class GPM:
+    """One GPU module and its local memory system slice."""
+
+    def __init__(self, gpm_id: int, config: GPMConfig, first_sm_id: int) -> None:
+        self.gpm_id = gpm_id
+        self.config = config
+        self.sms: List[SM] = [
+            SM(first_sm_id + index, gpm_id, config.sm) for index in range(config.n_sms)
+        ]
+        self.l2 = SetAssocCache(
+            size_bytes=config.l2.size_bytes,
+            line_bytes=config.l2.line_bytes,
+            ways=config.l2.ways,
+            write_policy=config.l2.write_policy,
+            name=f"gpm{gpm_id}.l2",
+        )
+        self.l15: Optional[SetAssocCache] = None
+        self.l15_allocation = AllocationPolicy.REMOTE_ONLY
+        self.l15_hit_latency = 0.0
+        if config.l15 is not None and config.l15.size_bytes > 0:
+            self.l15 = SetAssocCache(
+                size_bytes=config.l15.size_bytes,
+                line_bytes=config.l15.line_bytes,
+                ways=config.l15.ways,
+                write_policy=config.l15.write_policy,
+                name=f"gpm{gpm_id}.l15",
+            )
+            self.l15_allocation = config.l15.allocation
+            self.l15_hit_latency = config.l15.hit_latency
+        self.dram = DRAMPartition(
+            bandwidth_bytes_per_cycle=config.dram_bandwidth,
+            latency_cycles=config.dram_latency,
+            line_bytes=config.l2.line_bytes,
+            name=f"gpm{gpm_id}.dram",
+        )
+        self.xbar = GPMCrossbar(gpm_id, latency_cycles=config.xbar_latency)
+        # Flat hot-path attributes (avoid nested config lookups per access).
+        self.xbar_latency = config.xbar_latency
+        self.l2_hit_latency = config.l2.hit_latency
+        self.l15_miss_penalty = config.l15_miss_penalty
+        self.has_l15 = self.l15 is not None and self.l15.enabled
+        #: True when the L1.5 uses the ALL allocation policy and therefore
+        #: sits on the *local* request path as well (Section 5.1.2).
+        self.l15_caches_local = (
+            self.has_l15 and self.l15_allocation is AllocationPolicy.ALL
+        )
+
+    def kernel_boundary_flush(self) -> None:
+        """Invalidate L1s and the L1.5 at a kernel boundary.
+
+        Models the software-coherence flush of Section 5.1.1.  Both levels
+        are write-through, so the flush produces no write-back traffic; the
+        memory-side L2 is *not* flushed (it is coherent by construction —
+        one home location per line).
+        """
+        for sm in self.sms:
+            sm.l1.flush()
+        if self.l15 is not None:
+            self.l15.flush()
+
+    def aggregate_l1_stats(self) -> CacheStats:
+        """Sum of all per-SM L1 counters."""
+        total = CacheStats()
+        for sm in self.sms:
+            total = total.merge(sm.l1.stats)
+        return total
+
+    def reset(self) -> None:
+        """Reset all SM, cache, crossbar and DRAM state between runs."""
+        for sm in self.sms:
+            sm.reset()
+        self.l2.flush()
+        self.l2.stats.__init__()
+        if self.l15 is not None:
+            self.l15.flush()
+            self.l15.stats.__init__()
+        self.dram.reset()
+        self.xbar.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GPM(id={self.gpm_id}, sms={len(self.sms)}, l15={self.has_l15})"

@@ -1,0 +1,123 @@
+"""Top-level GPU system: GPMs, ring network, page table.
+
+One :class:`GPUSystem` instance describes any of the paper's machines —
+an MCM-GPU, a monolithic GPU (one module, unused ring), or a multi-GPU
+board (two big modules behind a slow ring) — entirely driven by its
+:class:`~repro.core.config.SystemConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..interconnect.fully_connected import FullyConnectedNetwork
+from ..interconnect.ring import RingNetwork
+from ..memory.address import AddressMap
+from ..memory.page_table import PageTable
+from ..memory.placement import make_placement
+from .config import SystemConfig
+from .gpm import GPM
+from .memsys import MemorySystem
+from .sm import SM
+
+
+class GPUSystem:
+    """A fully instantiated simulated GPU."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.address_map = AddressMap(
+            line_bytes=config.line_bytes, page_bytes=config.page_bytes
+        )
+        self.page_table = PageTable(
+            self.address_map,
+            make_placement(config.placement, config.n_gpms),
+        )
+        if config.topology == "fully_connected":
+            self.ring = FullyConnectedNetwork(
+                n_nodes=config.n_gpms,
+                link_bandwidth_bytes_per_cycle=config.link_bandwidth,
+                hop_latency_cycles=config.hop_latency,
+            )
+        else:
+            self.ring = RingNetwork(
+                n_nodes=config.n_gpms,
+                link_bandwidth_bytes_per_cycle=config.link_bandwidth,
+                hop_latency_cycles=config.hop_latency,
+            )
+        self.gpms: List[GPM] = []
+        next_sm_id = 0
+        for gpm_id in range(config.n_gpms):
+            self.gpms.append(GPM(gpm_id, config.gpm, next_sm_id))
+            next_sm_id += config.gpm.n_sms
+        self.memsys = MemorySystem(self)
+
+    @property
+    def n_gpms(self) -> int:
+        """Number of GPU modules."""
+        return len(self.gpms)
+
+    @property
+    def total_sms(self) -> int:
+        """SM count across all modules."""
+        return sum(len(gpm.sms) for gpm in self.gpms)
+
+    def all_sms(self) -> List[SM]:
+        """SMs in GPM-major order (gpm0.sm0, gpm0.sm1, ...)."""
+        return [sm for gpm in self.gpms for sm in gpm.sms]
+
+    def sms_interleaved(self) -> List[SM]:
+        """SMs interleaved across GPMs (gpm0.sm0, gpm1.sm0, ...).
+
+        This is the order a centralized global scheduler hands out CTAs in:
+        consecutive CTAs land on different GPMs, the behavior Figure 8(a)
+        illustrates.
+        """
+        per_gpm = [gpm.sms for gpm in self.gpms]
+        longest = max(len(sms) for sms in per_gpm)
+        ordered: List[SM] = []
+        for slot in range(longest):
+            for sms in per_gpm:
+                if slot < len(sms):
+                    ordered.append(sms[slot])
+        return ordered
+
+    def kernel_boundary_flush(self) -> None:
+        """Flush the software-coherent levels (L1, L1.5) on all modules."""
+        for gpm in self.gpms:
+            gpm.kernel_boundary_flush()
+
+    def quiesce_time(self) -> float:
+        """Cycle at which all in-flight memory traffic has drained.
+
+        Buffered stores charge DRAM and ring bandwidth at their natural
+        times without blocking the issuing warp, so the memory system can
+        still be busy after the last warp retires.  A kernel is complete
+        only once this backlog drains (the implicit memory fence at kernel
+        boundaries); the engine takes ``max(last retire, quiesce_time)``.
+        """
+        latest = 0.0
+        for gpm in self.gpms:
+            if gpm.dram.pipe.busy_until > latest:
+                latest = gpm.dram.pipe.busy_until
+        for link in self.ring.links:
+            for pipe in (link.request_pipe, link.response_pipe):
+                if pipe.busy_until > latest:
+                    latest = pipe.busy_until
+        return latest
+
+    def reset(self) -> None:
+        """Return the system to a pristine state for a fresh simulation."""
+        for gpm in self.gpms:
+            gpm.reset()
+        self.ring.reset()
+        self.page_table.reset()
+        self.memsys.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GPUSystem(name={self.config.name!r}, gpms={self.n_gpms}, sms={self.total_sms})"
+
+
+def build_system(config: SystemConfig) -> GPUSystem:
+    """Construct a :class:`GPUSystem` from a configuration."""
+    return GPUSystem(config)

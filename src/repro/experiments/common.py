@@ -1,0 +1,149 @@
+"""Shared experiment infrastructure: suite runs and a persistent cache.
+
+Every figure/table reproduction runs some subset of the 48-workload suite
+on some set of system configurations.  Simulations are deterministic, so
+results are cached on disk keyed by ``(workload digest, system digest)``;
+re-running a bench (or several benches that share the baseline) costs only
+the first run.  Set the ``REPRO_CACHE_DIR`` environment variable to move
+the cache, or ``REPRO_NO_CACHE=1`` to disable it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from ..core.config import SystemConfig
+from ..sim.result import SimResult
+from ..sim.simulator import Simulator
+from ..workloads.suite import suite_workloads
+from ..workloads.synthetic import Category, SyntheticWorkload
+from ..workloads.trace import Workload
+
+
+def _default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / ".repro_cache"
+
+
+class ResultCache:
+    """Append-only JSONL cache of simulation results."""
+
+    def __init__(self, directory: Optional[Path] = None) -> None:
+        self.directory = directory or _default_cache_dir()
+        self.path = self.directory / "results.jsonl"
+        self._memory: Dict[str, SimResult] = {}
+        self._loaded = False
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(workload_digest: str, system_digest: str) -> str:
+        """Cache key for one (workload, system) pair."""
+        return f"{workload_digest}##{system_digest}"
+
+    def _load(self) -> None:
+        if self._loaded:
+            return
+        self._loaded = True
+        if not self.path.exists():
+            return
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    result = SimResult.from_dict(entry["result"])
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    continue  # tolerate a truncated trailing line
+                self._memory[entry["key"]] = result
+
+    def get(self, workload_digest: str, system_digest: str) -> Optional[SimResult]:
+        """Cached result, or None."""
+        self._load()
+        result = self._memory.get(self.key(workload_digest, system_digest))
+        if result is not None:
+            self.hits += 1
+        return result
+
+    def put(self, result: SimResult) -> None:
+        """Store a result in memory and append it to the cache file."""
+        self._load()
+        key = self.key(result.workload_digest, result.system_digest)
+        self._memory[key] = result
+        self.misses += 1
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps({"key": key, "result": result.to_dict()}) + "\n")
+
+    def __len__(self) -> int:
+        self._load()
+        return len(self._memory)
+
+
+_DISABLED = os.environ.get("REPRO_NO_CACHE", "") not in ("", "0")
+#: Process-wide default cache instance.
+DEFAULT_CACHE: Optional[ResultCache] = None if _DISABLED else ResultCache()
+
+
+def run_one(
+    workload: Workload,
+    config: SystemConfig,
+    cache: Optional[ResultCache] = DEFAULT_CACHE,
+) -> SimResult:
+    """Simulate one workload on one configuration, using the cache."""
+    digest = workload.digest()
+    if cache is not None:
+        cached = cache.get(digest, config.digest())
+        if cached is not None:
+            return cached
+    result = Simulator(config).run(workload)
+    if cache is not None:
+        cache.put(result)
+    return result
+
+
+def run_suite(
+    config: SystemConfig,
+    workloads: Optional[Iterable[Workload]] = None,
+    cache: Optional[ResultCache] = DEFAULT_CACHE,
+) -> Dict[str, SimResult]:
+    """Run (or fetch) the whole suite on ``config``; keyed by workload name."""
+    if workloads is None:
+        workloads = suite_workloads()
+    results: Dict[str, SimResult] = {}
+    simulator: Optional[Simulator] = None
+    for workload in workloads:
+        digest = workload.digest()
+        cached = cache.get(digest, config.digest()) if cache is not None else None
+        if cached is not None:
+            results[workload.name] = cached
+            continue
+        if simulator is None:
+            simulator = Simulator(config)
+        result = simulator.run(workload)
+        if cache is not None:
+            cache.put(result)
+        results[workload.name] = result
+    return results
+
+
+def category_of(workloads: Iterable[SyntheticWorkload]) -> Dict[str, Category]:
+    """Workload-name -> category mapping for grouping report rows."""
+    return {workload.name: workload.category for workload in workloads}
+
+
+def names_in_category(category: Category) -> List[str]:
+    """Suite workload names belonging to ``category``."""
+    return [workload.name for workload in suite_workloads(category)]
+
+
+def filter_names(results: Mapping[str, SimResult], names: Iterable[str]) -> Dict[str, SimResult]:
+    """Subset of ``results`` restricted to ``names`` (order preserved)."""
+    return {name: results[name] for name in names if name in results}

@@ -1,0 +1,82 @@
+"""Figure 13: performance with first-touch page placement (+ L1.5 + DS).
+
+Adds the Section 5.3 first-touch policy on top of the remote-only L1.5 and
+distributed scheduling, with both L2/L1.5 splits the paper compares: the
+16 MB L1.5 (residual L2) and the 8 MB L1.5 + 8 MB L2 rebalance that wins
+once most traffic is local.
+
+Paper headlines: 8 MB split gives +51% / +11.3% / +7.9% per category over
+the baseline and beats the 16 MB split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..analysis.report import format_table
+from ..analysis.speedup import geomean_speedup, speedups
+from ..core.presets import baseline_mcm_gpu, mcm_gpu_with_l15
+from ..workloads.synthetic import Category
+from .common import filter_names, names_in_category, run_suite
+
+
+@dataclass(frozen=True)
+class FTVariant:
+    """One L1.5 capacity split under L1.5 + DS + FT."""
+
+    l15_mb: int
+    per_workload_m: Dict[str, float]
+    m_geomean: float
+    c_geomean: float
+    limited_geomean: float
+
+
+def run_fig13() -> Dict[int, FTVariant]:
+    """Simulate the 16 MB and 8 MB splits with all three optimizations."""
+    baseline = run_suite(baseline_mcm_gpu())
+    m_names = names_in_category(Category.M_INTENSIVE)
+    c_names = names_in_category(Category.C_INTENSIVE)
+    l_names = names_in_category(Category.LIMITED_PARALLELISM)
+    out: Dict[int, FTVariant] = {}
+    for l15_mb in (16, 8):
+        results = run_suite(
+            mcm_gpu_with_l15(
+                l15_mb,
+                remote_only=True,
+                scheduler="distributed",
+                placement="first_touch",
+            )
+        )
+        out[l15_mb] = FTVariant(
+            l15_mb=l15_mb,
+            per_workload_m=speedups(
+                filter_names(results, m_names), filter_names(baseline, m_names)
+            ),
+            m_geomean=geomean_speedup(
+                filter_names(results, m_names), filter_names(baseline, m_names)
+            ),
+            c_geomean=geomean_speedup(
+                filter_names(results, c_names), filter_names(baseline, c_names)
+            ),
+            limited_geomean=geomean_speedup(
+                filter_names(results, l_names), filter_names(baseline, l_names)
+            ),
+        )
+    return out
+
+
+def report(variants: Dict[int, FTVariant]) -> str:
+    """Render Figure 13."""
+    order = sorted(variants, reverse=True)
+    headers = ["Benchmark"] + [f"{mb}MB L1.5+DS+FT" for mb in order]
+    m_names = list(variants[order[0]].per_workload_m)
+    rows = [
+        [name] + [variants[mb].per_workload_m[name] for mb in order] for name in m_names
+    ]
+    rows.append(["[M geomean]"] + [variants[mb].m_geomean for mb in order])
+    rows.append(["[C geomean]"] + [variants[mb].c_geomean for mb in order])
+    rows.append(["[Lim geomean]"] + [variants[mb].limited_geomean for mb in order])
+    return format_table(
+        headers, rows, title="Figure 13: First-touch placement (speedup over baseline)"
+    )

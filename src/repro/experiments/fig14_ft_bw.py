@@ -1,0 +1,32 @@
+"""Figure 14: inter-GPM bandwidth with first-touch page placement.
+
+Paper headline: the fully optimized MCM-GPU moves ~5x less inter-GPM
+traffic than the baseline; several workloads nearly eliminate it.
+"""
+
+from __future__ import annotations
+
+from ..core.presets import baseline_mcm_gpu, mcm_gpu_with_l15
+from .common import run_suite
+from .traffic_common import TrafficComparison, build_comparison
+from .traffic_common import report as report_traffic
+
+
+def run_fig14() -> TrafficComparison:
+    """Compare baseline traffic against both optimized splits."""
+    baseline = run_suite(baseline_mcm_gpu())
+    ft16 = run_suite(
+        mcm_gpu_with_l15(16, remote_only=True, scheduler="distributed", placement="first_touch")
+    )
+    ft8 = run_suite(
+        mcm_gpu_with_l15(8, remote_only=True, scheduler="distributed", placement="first_touch")
+    )
+    return build_comparison(
+        "Figure 14: Baseline vs L1.5+DS+FT (16MB and 8MB splits)",
+        [("baseline", baseline), ("16MB+DS+FT", ft16), ("8MB+DS+FT", ft8)],
+    )
+
+
+def report(comparison: TrafficComparison) -> str:
+    """Render Figure 14."""
+    return report_traffic(comparison)

@@ -1,0 +1,76 @@
+"""Figure 16: breakdown of the optimizations' contributions.
+
+Evaluates each mechanism alone (remote-only L1.5, distributed scheduling,
+first-touch placement), the combined optimized design, the 6 TB/s
+bandwidth-rich MCM-GPU, and the unbuildable 256-SM monolithic GPU — all as
+geomean speedup over the baseline MCM-GPU across the 48-workload suite.
+
+Paper headlines: L1.5 alone +5.2%; DS alone ~0; FT alone -4.7%; all three
+together +22.8%; the optimized design comes within ~10% of the monolithic
+256-SM GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List
+
+from ..analysis.report import format_table
+from ..analysis.speedup import geomean_speedup
+from ..core.presets import (
+    baseline_mcm_gpu,
+    mcm_gpu_with_l15,
+    monolithic_gpu,
+    optimized_mcm_gpu,
+)
+from .common import run_suite
+
+
+@dataclass(frozen=True)
+class Breakdown:
+    """Geomean speedups over the baseline MCM-GPU, keyed by design point."""
+
+    speedups: Dict[str, float]
+
+    def gap_to_monolithic(self) -> float:
+        """How far the optimized design sits below the 256-SM monolithic."""
+        return self.speedups["monolithic-256"] / self.speedups["optimized"]
+
+
+def run_fig16() -> Breakdown:
+    """Simulate every Figure 16 design point."""
+    baseline_cfg = baseline_mcm_gpu()
+    baseline = run_suite(baseline_cfg)
+    points = {
+        "l15-alone": mcm_gpu_with_l15(16, remote_only=True),
+        "ds-alone": replace(baseline_cfg, scheduler="distributed", name="mcm-ds-only"),
+        "ft-alone": replace(baseline_cfg, placement="first_touch", name="mcm-ft-only"),
+        "optimized": optimized_mcm_gpu(),
+        "mcm-6tbs": baseline_mcm_gpu(link_bandwidth=6144.0),
+        "monolithic-256": monolithic_gpu(256),
+    }
+    result: Dict[str, float] = {}
+    for label, config in points.items():
+        result[label] = geomean_speedup(run_suite(config), baseline)
+    return Breakdown(speedups=result)
+
+
+def report(breakdown: Breakdown) -> str:
+    """Render Figure 16."""
+    paper = {
+        "l15-alone": "+5.2%",
+        "ds-alone": "~0%",
+        "ft-alone": "-4.7%",
+        "optimized": "+22.8%",
+        "mcm-6tbs": "(bandwidth-rich)",
+        "monolithic-256": "optimized +~10%",
+    }
+    rows: List[List[object]] = [
+        [label, value, f"{(value - 1) * 100:+.1f}%", paper.get(label, "")]
+        for label, value in breakdown.speedups.items()
+    ]
+    return format_table(
+        ["Design point", "Speedup", "Delta", "Paper"],
+        rows,
+        title="Figure 16: Optimization breakdown (geomean over 48 workloads)",
+    )

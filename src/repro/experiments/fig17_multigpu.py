@@ -1,0 +1,81 @@
+"""Figure 17: MCM-GPU vs multi-GPU.
+
+Compares, against the baseline two-GPU board system (which already applies
+distributed scheduling and first-touch placement, Section 6.1):
+
+* the optimized multi-GPU (GPU-side remote cache added),
+* the optimized MCM-GPU at 768 GB/s links,
+* the bandwidth-rich MCM-GPU at 6 TB/s,
+* the unbuildable 256-SM monolithic GPU.
+
+Paper headlines: optimized multi-GPU +25.1%; optimized MCM-GPU +51.9%
+(i.e., 26.8% over the optimized multi-GPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..analysis.report import format_table
+from ..analysis.speedup import geomean_speedup
+from ..core.presets import (
+    baseline_mcm_gpu,
+    monolithic_gpu,
+    multi_gpu,
+    optimized_mcm_gpu,
+)
+from .common import run_suite
+
+
+@dataclass(frozen=True)
+class MultiGPUComparison:
+    """Geomean speedups over the baseline multi-GPU."""
+
+    speedups: Dict[str, float]
+
+    def mcm_over_optimized_multi_gpu(self) -> float:
+        """The paper's 26.8% headline ratio."""
+        return self.speedups["mcm-optimized"] / self.speedups["multi-gpu-optimized"]
+
+
+def run_fig17() -> MultiGPUComparison:
+    """Simulate every Figure 17 system."""
+    baseline = run_suite(multi_gpu(optimized=False))
+    points = {
+        "multi-gpu-optimized": multi_gpu(optimized=True),
+        "mcm-optimized": optimized_mcm_gpu(),
+        "mcm-6tbs": baseline_mcm_gpu(link_bandwidth=6144.0),
+        "monolithic-256": monolithic_gpu(256),
+    }
+    out: Dict[str, float] = {}
+    for label, config in points.items():
+        out[label] = geomean_speedup(run_suite(config), baseline)
+    return MultiGPUComparison(speedups=out)
+
+
+def report(comparison: MultiGPUComparison) -> str:
+    """Render Figure 17."""
+    paper = {
+        "multi-gpu-optimized": "+25.1%",
+        "mcm-optimized": "+51.9%",
+        "mcm-6tbs": "",
+        "monolithic-256": "",
+    }
+    rows: List[List[object]] = [
+        [label, value, f"{(value - 1) * 100:+.1f}%", paper.get(label, "")]
+        for label, value in comparison.speedups.items()
+    ]
+    rows.append(
+        [
+            "mcm vs optimized multi-GPU",
+            comparison.mcm_over_optimized_multi_gpu(),
+            f"{(comparison.mcm_over_optimized_multi_gpu() - 1) * 100:+.1f}%",
+            "+26.8%",
+        ]
+    )
+    return format_table(
+        ["System", "Speedup", "Delta", "Paper"],
+        rows,
+        title="Figure 17: MCM-GPU vs multi-GPU (vs baseline multi-GPU)",
+    )

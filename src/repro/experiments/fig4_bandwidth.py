@@ -1,0 +1,78 @@
+"""Figure 4: performance sensitivity to inter-GPM link bandwidth.
+
+Sweeps the 4-GPM, 256-SM baseline MCM-GPU's link bandwidth from an
+abundant 6 TB/s down to 384 GB/s and reports each category's slowdown
+relative to the 6 TB/s machine.
+
+Paper headlines: memory-intensive workloads degrade ~12% / ~40% / ~57%
+at 1.5 TB/s / 768 GB/s / 384 GB/s; compute-intensive workloads degrade
+less; even limited-parallelism workloads show some sensitivity through
+queuing delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..analysis.report import format_table
+from ..analysis.speedup import geomean_speedup
+from ..core.presets import baseline_mcm_gpu
+from ..workloads.synthetic import Category
+from .common import filter_names, names_in_category, run_suite
+
+#: Link bandwidth settings swept by the paper, GB/s per link.
+DEFAULT_BANDWIDTHS: Tuple[float, ...] = (6144.0, 3072.0, 1536.0, 768.0, 384.0)
+
+
+@dataclass(frozen=True)
+class BandwidthPoint:
+    """Per-category relative performance at one link bandwidth setting."""
+
+    link_bandwidth: float
+    m_intensive: float
+    c_intensive: float
+    limited: float
+
+
+def run_fig4(bandwidths: Sequence[float] = DEFAULT_BANDWIDTHS) -> List[BandwidthPoint]:
+    """Simulate the sweep; performance is relative to the first setting."""
+    if not bandwidths:
+        raise ValueError("need at least one bandwidth setting")
+    reference = run_suite(baseline_mcm_gpu(link_bandwidth=bandwidths[0]))
+    categories = {
+        "m": names_in_category(Category.M_INTENSIVE),
+        "c": names_in_category(Category.C_INTENSIVE),
+        "l": names_in_category(Category.LIMITED_PARALLELISM),
+    }
+    points: List[BandwidthPoint] = []
+    for bandwidth in bandwidths:
+        results = run_suite(baseline_mcm_gpu(link_bandwidth=bandwidth))
+        relative: Dict[str, float] = {
+            key: geomean_speedup(
+                filter_names(results, names), filter_names(reference, names)
+            )
+            for key, names in categories.items()
+        }
+        points.append(
+            BandwidthPoint(
+                link_bandwidth=bandwidth,
+                m_intensive=relative["m"],
+                c_intensive=relative["c"],
+                limited=relative["l"],
+            )
+        )
+    return points
+
+
+def report(points: List[BandwidthPoint]) -> str:
+    """Render the Figure 4 series (relative performance vs 6 TB/s)."""
+    rows = [
+        [f"{p.link_bandwidth:.0f} GB/s", p.m_intensive, p.c_intensive, p.limited]
+        for p in points
+    ]
+    return format_table(
+        ["Link BW", "M-Intensive", "C-Intensive", "Limited-Parallelism"],
+        rows,
+        title="Figure 4: Relative performance vs inter-GPM link bandwidth",
+    )

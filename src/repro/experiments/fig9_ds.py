@@ -1,0 +1,68 @@
+"""Figure 9: performance with distributed CTA scheduling (+ L1.5).
+
+Adds the Section 5.2 distributed scheduler on top of the 16 MB remote-only
+L1.5 and reports speedups over the Table 3 baseline.
+
+Paper headlines: +23.4% / +1.9% / +5.2% on the memory-/compute-intensive/
+limited categories; Srad-v2 and Kmeans only improve once distributed
+scheduling is combined with the L1.5 (inter-CTA reuse becomes capturable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..analysis.report import format_table
+from ..analysis.speedup import geomean_speedup, speedups
+from ..core.presets import baseline_mcm_gpu, mcm_gpu_with_l15
+from ..workloads.synthetic import Category
+from .common import filter_names, names_in_category, run_suite
+
+
+@dataclass(frozen=True)
+class DSResult:
+    """Speedups of the L1.5 + distributed-scheduling machine."""
+
+    per_workload_m: Dict[str, float]
+    m_geomean: float
+    c_geomean: float
+    limited_geomean: float
+
+
+def run_fig9(l15_mb: int = 16) -> DSResult:
+    """Simulate L1.5 + DS against the baseline."""
+    baseline = run_suite(baseline_mcm_gpu())
+    results = run_suite(
+        mcm_gpu_with_l15(l15_mb, remote_only=True, scheduler="distributed")
+    )
+    m_names = names_in_category(Category.M_INTENSIVE)
+    c_names = names_in_category(Category.C_INTENSIVE)
+    l_names = names_in_category(Category.LIMITED_PARALLELISM)
+    return DSResult(
+        per_workload_m=speedups(
+            filter_names(results, m_names), filter_names(baseline, m_names)
+        ),
+        m_geomean=geomean_speedup(
+            filter_names(results, m_names), filter_names(baseline, m_names)
+        ),
+        c_geomean=geomean_speedup(
+            filter_names(results, c_names), filter_names(baseline, c_names)
+        ),
+        limited_geomean=geomean_speedup(
+            filter_names(results, l_names), filter_names(baseline, l_names)
+        ),
+    )
+
+
+def report(result: DSResult) -> str:
+    """Render Figure 9."""
+    rows = [[name, value] for name, value in result.per_workload_m.items()]
+    rows.append(["[M geomean]", result.m_geomean])
+    rows.append(["[C geomean]", result.c_geomean])
+    rows.append(["[Lim geomean]", result.limited_geomean])
+    return format_table(
+        ["Benchmark", "Speedup"],
+        rows,
+        title="Figure 9: L1.5 + distributed scheduling (speedup over baseline)",
+    )

@@ -1,0 +1,24 @@
+"""Interconnect substrate: links, the on-package ring, crossbars, board tier."""
+
+from .board import (
+    BOARD_AGGREGATE_GBPS,
+    BOARD_HOP_LATENCY_CYCLES,
+    make_board_interconnect,
+)
+from .crossbar import GPMCrossbar
+from .fully_connected import FullyConnectedNetwork, iso_budget_link_bandwidth
+from .link import Link
+from .ring import CLOCKWISE, COUNTER_CLOCKWISE, RingNetwork
+
+__all__ = [
+    "BOARD_AGGREGATE_GBPS",
+    "BOARD_HOP_LATENCY_CYCLES",
+    "make_board_interconnect",
+    "GPMCrossbar",
+    "FullyConnectedNetwork",
+    "iso_budget_link_bandwidth",
+    "Link",
+    "CLOCKWISE",
+    "COUNTER_CLOCKWISE",
+    "RingNetwork",
+]

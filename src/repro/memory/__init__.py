@@ -1,0 +1,36 @@
+"""Memory-system substrate: addressing, caches, DRAM, and page placement."""
+
+from .address import LINE_BYTES, AddressMap, is_power_of_two
+from .bandwidth import BandwidthPipe
+from .cache import AllocationPolicy, CacheStats, SetAssocCache, WritePolicy
+from .dram import DRAMPartition
+from .migration import MigratingFirstTouch
+from .page_table import PageTable
+from .placement import (
+    PLACEMENT_POLICIES,
+    FineGrainInterleave,
+    FirstTouchPlacement,
+    PlacementPolicy,
+    RoundRobinPagePlacement,
+    make_placement,
+)
+
+__all__ = [
+    "LINE_BYTES",
+    "AddressMap",
+    "is_power_of_two",
+    "BandwidthPipe",
+    "AllocationPolicy",
+    "CacheStats",
+    "SetAssocCache",
+    "WritePolicy",
+    "DRAMPartition",
+    "MigratingFirstTouch",
+    "PageTable",
+    "PLACEMENT_POLICIES",
+    "FineGrainInterleave",
+    "FirstTouchPlacement",
+    "PlacementPolicy",
+    "RoundRobinPagePlacement",
+    "make_placement",
+]

@@ -1,0 +1,76 @@
+"""Address arithmetic helpers shared by the memory subsystem.
+
+The simulator works on *line addresses* (byte address divided by the cache
+line size) as early as possible: workload generators emit line addresses,
+caches and page tables consume them.  This module centralizes the conversion
+math so line size and page size stay consistent across components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Cache line size used throughout the paper's configurations (Table 3).
+LINE_BYTES = 128
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Converts between byte, line, and page addresses.
+
+    Parameters
+    ----------
+    line_bytes:
+        Cache line size in bytes.  Must be a power of two.
+    page_bytes:
+        Virtual memory page size in bytes.  Must be a power of two and a
+        multiple of ``line_bytes`` so a page always contains whole lines.
+    """
+
+    line_bytes: int = LINE_BYTES
+    page_bytes: int = 1024
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.line_bytes):
+            raise ValueError(f"line_bytes must be a power of two, got {self.line_bytes}")
+        if not is_power_of_two(self.page_bytes):
+            raise ValueError(f"page_bytes must be a power of two, got {self.page_bytes}")
+        if self.page_bytes % self.line_bytes:
+            raise ValueError(
+                f"page_bytes ({self.page_bytes}) must be a multiple of "
+                f"line_bytes ({self.line_bytes})"
+            )
+
+    @property
+    def lines_per_page(self) -> int:
+        """Number of cache lines in one page."""
+        return self.page_bytes // self.line_bytes
+
+    def line_of_byte(self, byte_addr: int) -> int:
+        """Line address containing ``byte_addr``."""
+        return byte_addr // self.line_bytes
+
+    def byte_of_line(self, line_addr: int) -> int:
+        """First byte address of line ``line_addr``."""
+        return line_addr * self.line_bytes
+
+    def page_of_line(self, line_addr: int) -> int:
+        """Page address containing line ``line_addr``."""
+        return line_addr // self.lines_per_page
+
+    def page_of_byte(self, byte_addr: int) -> int:
+        """Page address containing ``byte_addr``."""
+        return byte_addr // self.page_bytes
+
+    def lines_in_footprint(self, footprint_bytes: int) -> int:
+        """Number of whole lines covering ``footprint_bytes`` (rounded up)."""
+        return -(-footprint_bytes // self.line_bytes)
+
+    def pages_in_footprint(self, footprint_bytes: int) -> int:
+        """Number of whole pages covering ``footprint_bytes`` (rounded up)."""
+        return -(-footprint_bytes // self.page_bytes)

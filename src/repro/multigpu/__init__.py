@@ -1,0 +1,17 @@
+"""Multi-GPU comparison substrate (Section 6)."""
+
+from .system import (
+    EfficiencyComparison,
+    aggregate_energy_advantage,
+    compare_efficiency,
+    comparison_systems,
+    systems_are_equally_equipped,
+)
+
+__all__ = [
+    "EfficiencyComparison",
+    "aggregate_energy_advantage",
+    "compare_efficiency",
+    "comparison_systems",
+    "systems_are_equally_equipped",
+]

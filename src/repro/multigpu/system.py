@@ -1,0 +1,102 @@
+"""Multi-GPU system study helpers (Section 6).
+
+The multi-GPU machines are structurally two big "GPMs" behind a board-tier
+link, so they reuse the whole :class:`~repro.core.gpu.GPUSystem` machinery
+via :func:`repro.core.presets.multi_gpu`.  This module adds the Section 6
+*study*: building the full comparison set and computing the performance
+and interconnect-energy deltas the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.config import SystemConfig
+from ..core.energy import IntegrationTier
+from ..core.presets import baseline_mcm_gpu, monolithic_gpu, multi_gpu, optimized_mcm_gpu
+from ..sim.result import SimResult
+
+
+def comparison_systems() -> List[Tuple[str, SystemConfig]]:
+    """The five Section 6 machines, all with 256 SMs and 3 TB/s DRAM."""
+    return [
+        ("multi-gpu-baseline", multi_gpu(optimized=False)),
+        ("multi-gpu-optimized", multi_gpu(optimized=True)),
+        ("mcm-optimized", optimized_mcm_gpu()),
+        ("mcm-6tbs", baseline_mcm_gpu(link_bandwidth=6144.0)),
+        ("monolithic-256", monolithic_gpu(256)),
+    ]
+
+
+def systems_are_equally_equipped() -> bool:
+    """Sanity check: every comparison machine has the paper's resources.
+
+    "an equally equipped Multi-GPU system with the same total number of
+    SMs and DRAM bandwidth" — 256 SMs, 3 TB/s.
+    """
+    return all(
+        config.total_sms == 256 and config.total_dram_bandwidth == 3072.0
+        for _, config in comparison_systems()
+    )
+
+
+@dataclass(frozen=True)
+class EfficiencyComparison:
+    """Energy view of one workload on an MCM vs multi-GPU machine.
+
+    Captures the Section 6.2 argument: package links at 0.5 pJ/bit vs
+    board links at 10 pJ/bit make the MCM-GPU's inter-module traffic far
+    cheaper even before counting its performance advantage.
+    """
+
+    workload_name: str
+    mcm_inter_module_joules: float
+    multi_gpu_inter_module_joules: float
+    mcm_cycles: float
+    multi_gpu_cycles: float
+
+    @property
+    def energy_advantage(self) -> float:
+        """Multi-GPU interconnect energy over MCM-GPU interconnect energy."""
+        if self.mcm_inter_module_joules == 0:
+            return float("inf")
+        return self.multi_gpu_inter_module_joules / self.mcm_inter_module_joules
+
+    @property
+    def speedup(self) -> float:
+        """MCM-GPU performance over the multi-GPU machine."""
+        return self.multi_gpu_cycles / self.mcm_cycles
+
+
+def compare_efficiency(mcm: SimResult, multi: SimResult) -> EfficiencyComparison:
+    """Build an :class:`EfficiencyComparison` from two runs of one workload."""
+    if mcm.workload_name != multi.workload_name:
+        raise ValueError(
+            f"comparing different workloads: {mcm.workload_name!r} vs {multi.workload_name!r}"
+        )
+    if IntegrationTier(mcm.link_tier) is not IntegrationTier.PACKAGE:
+        raise ValueError("first argument must be the package-integrated (MCM) run")
+    if IntegrationTier(multi.link_tier) is not IntegrationTier.BOARD:
+        raise ValueError("second argument must be the board-integrated (multi-GPU) run")
+    return EfficiencyComparison(
+        workload_name=mcm.workload_name,
+        mcm_inter_module_joules=mcm.energy.inter_module_joules,
+        multi_gpu_inter_module_joules=multi.energy.inter_module_joules,
+        mcm_cycles=mcm.cycles,
+        multi_gpu_cycles=multi.cycles,
+    )
+
+
+def aggregate_energy_advantage(
+    mcm_results: Dict[str, SimResult],
+    multi_results: Dict[str, SimResult],
+) -> float:
+    """Suite-level interconnect-energy ratio (multi-GPU / MCM-GPU)."""
+    mcm_joules = sum(result.energy.inter_module_joules for result in mcm_results.values())
+    multi_joules = sum(
+        multi_results[name].energy.inter_module_joules for name in mcm_results
+    )
+    if mcm_joules == 0:
+        return float("inf")
+    return multi_joules / mcm_joules

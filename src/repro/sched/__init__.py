@@ -1,0 +1,14 @@
+"""CTA scheduling policies."""
+
+from .base import CTAScheduler
+from .centralized import CentralizedScheduler
+from .distributed import DistributedScheduler, make_scheduler
+from .dynamic import DynamicScheduler
+
+__all__ = [
+    "CTAScheduler",
+    "CentralizedScheduler",
+    "DistributedScheduler",
+    "DynamicScheduler",
+    "make_scheduler",
+]

@@ -1,0 +1,59 @@
+"""CTA scheduler interface.
+
+A scheduler owns the pool of not-yet-launched CTAs of the current kernel
+and decides which CTA an SM receives when one of its slots frees up.  The
+two concrete policies mirror the paper:
+
+* :class:`~repro.sched.centralized.CentralizedScheduler` — the baseline
+  global round-robin scheduler (Section 3.2, Figure 8a);
+* :class:`~repro.sched.distributed.DistributedScheduler` — contiguous CTA
+  batches pinned per GPM (Section 5.2, Figure 8b).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.gpu import GPUSystem
+    from ..core.sm import SM
+
+
+class CTAScheduler(ABC):
+    """Assigns CTA indices of the running kernel to SMs."""
+
+    def __init__(self, system: "GPUSystem") -> None:
+        self.system = system
+        self.n_ctas = 0
+        self.dispatched = 0
+
+    def start_kernel(self, n_ctas: int) -> None:
+        """Arm the scheduler for a kernel of ``n_ctas`` CTAs."""
+        if n_ctas <= 0:
+            raise ValueError(f"n_ctas must be positive, got {n_ctas}")
+        self.n_ctas = n_ctas
+        self.dispatched = 0
+        self._on_start_kernel()
+
+    @abstractmethod
+    def _on_start_kernel(self) -> None:
+        """Policy-specific per-kernel initialization."""
+
+    @abstractmethod
+    def next_cta(self, sm: "SM") -> Optional[int]:
+        """CTA index for ``sm``, or ``None`` when none remains for it."""
+
+    @abstractmethod
+    def initial_fill_order(self) -> List["SM"]:
+        """SM order used to place the first wave of CTAs at kernel launch."""
+
+    @property
+    def remaining(self) -> int:
+        """CTAs not yet dispatched."""
+        return self.n_ctas - self.dispatched
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every CTA of the kernel has been dispatched."""
+        return self.dispatched >= self.n_ctas

@@ -1,0 +1,57 @@
+"""Baseline centralized CTA scheduler (Section 3.2).
+
+A single global dispatcher hands out CTAs in index order "in a round-robin
+manner as SMs become available", exactly as on a monolithic GPU.  At kernel
+launch the first wave is placed on SMs interleaved across GPMs, so
+consecutive CTAs land on *different* GPMs (Figure 8a); in steady state a
+CTA goes to whichever SM frees a slot first, which scatters contiguous CTA
+groups across the machine and destroys inter-CTA locality on a NUMA
+MCM-GPU.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from .base import CTAScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.sm import SM
+
+
+class CentralizedScheduler(CTAScheduler):
+    """Global in-order dispatcher; CTA affinity is wherever a slot frees."""
+
+    def __init__(self, system) -> None:
+        super().__init__(system)
+        self._launches = 0
+
+    def _on_start_kernel(self) -> None:
+        self._next_index = 0
+        self._launches += 1
+
+    def next_cta(self, sm: "SM") -> Optional[int]:
+        if self._next_index >= self.n_ctas:
+            return None
+        cta = self._next_index
+        self._next_index += 1
+        self.dispatched += 1
+        return cta
+
+    def initial_fill_order(self) -> List["SM"]:
+        """GPM-interleaved SM order: gpm0.sm0, gpm1.sm0, ..., gpm0.sm1, ...
+
+        This produces the Figure 8(a) placement where consecutive CTAs of
+        the first wave sit on different GPMs.
+
+        The order is rotated by one SM on every kernel launch: a
+        centralized scheduler gives no cross-launch affinity (SM
+        availability at launch time is arbitrary), so CTA ``i`` lands on a
+        *different* GPM next launch.  This is the instability that makes
+        first-touch placement useless — or harmful — without distributed
+        scheduling (Sections 5.3 and 5.4): pages placed during one kernel
+        are remote for their re-users in the next.
+        """
+        order = self.system.sms_interleaved()
+        shift = max(0, self._launches - 1) % max(1, len(order))
+        return order[shift:] + order[:shift]

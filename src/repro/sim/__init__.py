@@ -1,0 +1,7 @@
+"""Event-driven simulation: engine, façade, results."""
+
+from .engine import SimulationEngine
+from .result import SimResult
+from .simulator import Simulator, simulate
+
+__all__ = ["SimulationEngine", "SimResult", "Simulator", "simulate"]

@@ -1,0 +1,223 @@
+"""Event-driven simulation engine.
+
+The engine advances a global min-heap of warp-group readiness events.
+Executing one :class:`~repro.workloads.trace.TraceRecord` charges the SM's
+issue ports, routes the record's loads and stores through the memory
+system, and re-arms the group at ``issue_start + max(compute, memory)`` —
+the classic GPU latency-hiding model where a group's arithmetic overlaps
+its own memory batch and other groups fill the SM in the meantime.
+
+CTA lifecycle: the configured scheduler places an initial wave of CTAs
+breadth-first across SMs, then refills an SM whenever one of its resident
+CTAs retires.  Kernels run back-to-back; every kernel boundary flushes the
+software-coherent caches (L1, L1.5) exactly as Section 5.1.1 requires.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import List, Optional
+
+from ..core.gpu import GPUSystem
+from ..memory.cache import CacheStats
+from ..sched.distributed import make_scheduler
+from ..workloads.trace import KernelLaunch, Workload
+from .result import SimResult
+
+
+class _CTA:
+    """Bookkeeping for one resident CTA."""
+
+    __slots__ = ("index", "groups_left", "sm")
+
+    def __init__(self, index: int, groups_left: int, sm) -> None:
+        self.index = index
+        self.groups_left = groups_left
+        self.sm = sm
+
+
+class _WarpGroup:
+    """One schedulable warp group walking its record list."""
+
+    __slots__ = ("cta", "records", "position")
+
+    def __init__(self, cta: _CTA, records) -> None:
+        self.cta = cta
+        self.records = records
+        self.position = 0
+
+
+class SimulationEngine:
+    """Runs workloads on a :class:`~repro.core.gpu.GPUSystem`."""
+
+    def __init__(self, system: GPUSystem) -> None:
+        self.system = system
+        self.scheduler = make_scheduler(system.config.scheduler, system)
+        self.records_executed = 0
+        self.ctas_executed = 0
+        self.kernels_executed = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self, workload: Workload) -> SimResult:
+        """Simulate ``workload`` to completion and return its result."""
+        self.system.reset()
+        # Fresh scheduler per run: the centralized policy carries
+        # cross-launch placement state (its fill rotation) that must not
+        # leak between independent simulations.
+        self.scheduler = make_scheduler(self.system.config.scheduler, self.system)
+        self.records_executed = 0
+        self.ctas_executed = 0
+        self.kernels_executed = 0
+
+        clock = 0.0
+        first = True
+        for kernel in workload.kernels():
+            if not first:
+                self.system.kernel_boundary_flush()
+            first = False
+            clock = self._run_kernel(kernel, clock)
+            self.kernels_executed += 1
+
+        return self._collect(workload, clock)
+
+    # ------------------------------------------------------------------
+
+    def _run_kernel(self, kernel: KernelLaunch, start_time: float) -> float:
+        scheduler = self.scheduler
+        scheduler.start_kernel(kernel.n_ctas)
+        heap: List = []
+        self._seq = 0
+
+        # Breadth-first initial wave: one CTA per SM per round, in the
+        # scheduler's preferred SM order, until slots or CTAs run out.
+        fill_order = scheduler.initial_fill_order()
+        placed = True
+        while placed and not scheduler.exhausted:
+            placed = False
+            for sm in fill_order:
+                if sm.free_cta_slots <= 0:
+                    continue
+                cta_index = scheduler.next_cta(sm)
+                if cta_index is None:
+                    continue
+                self._launch(heap, kernel, cta_index, sm, start_time)
+                placed = True
+
+        kernel_end = start_time
+        memsys = self.system.memsys
+        while heap:
+            ready, _, group = heappop(heap)
+            sm = group.cta.sm
+            issue_start = sm.clock if sm.clock > ready else ready
+            record = group.records[group.position]
+            group.position += 1
+            reads = record.reads
+            writes = record.writes
+            sm.charge_issue(issue_start, record.compute_cycles + len(reads) + len(writes))
+
+            mem_done = issue_start
+            for line in reads:
+                done = memsys.load(issue_start, sm, line)
+                if done > mem_done:
+                    mem_done = done
+            for line in writes:
+                memsys.store(issue_start, sm, line)
+
+            finish = issue_start + record.compute_cycles
+            if mem_done > finish:
+                finish = mem_done
+            self.records_executed += 1
+
+            if group.position < len(group.records):
+                self._seq += 1
+                heappush(heap, (finish, self._seq, group))
+                continue
+
+            if finish > kernel_end:
+                kernel_end = finish
+            cta = group.cta
+            cta.groups_left -= 1
+            if cta.groups_left == 0:
+                self.ctas_executed += 1
+                sm.release_slot()
+                next_index = scheduler.next_cta(sm)
+                if next_index is not None:
+                    self._launch(heap, kernel, next_index, sm, finish)
+
+        if not scheduler.exhausted:  # pragma: no cover - engine invariant
+            raise RuntimeError(
+                f"kernel {kernel.label!r} drained with "
+                f"{scheduler.remaining} CTAs undispatched"
+            )
+        # Kernel completion implies a memory fence: buffered store traffic
+        # still queued at DRAM or on the ring must drain before the next
+        # kernel (or the final makespan) begins.
+        quiesce = self.system.quiesce_time()
+        return quiesce if quiesce > kernel_end else kernel_end
+
+    def _launch(self, heap: List, kernel: KernelLaunch, cta_index: int, sm, at: float) -> None:
+        trace = kernel.trace_fn(cta_index)
+        if len(trace) != kernel.groups_per_cta:
+            raise ValueError(
+                f"kernel {kernel.label!r}: trace_fn returned {len(trace)} groups, "
+                f"expected {kernel.groups_per_cta}"
+            )
+        sm.occupy_slot()
+        cta = _CTA(cta_index, len(trace), sm)
+        for records in trace:
+            if not records:
+                cta.groups_left -= 1
+                continue
+            self._seq += 1
+            heappush(heap, (at, self._seq, _WarpGroup(cta, records)))
+        if cta.groups_left == 0:
+            # Degenerate empty CTA: retire immediately.
+            self.ctas_executed += 1
+            sm.release_slot()
+
+    # ------------------------------------------------------------------
+
+    def _collect(self, workload: Workload, cycles: float) -> SimResult:
+        system = self.system
+        l1 = CacheStats()
+        l15 = CacheStats()
+        l2 = CacheStats()
+        dram_read = 0
+        dram_written = 0
+        for gpm in system.gpms:
+            l1 = l1.merge(gpm.aggregate_l1_stats())
+            if gpm.l15 is not None:
+                l15 = l15.merge(gpm.l15.stats)
+            l2 = l2.merge(gpm.l2.stats)
+            dram_read += gpm.dram.bytes_read
+            dram_written += gpm.dram.bytes_written
+        memsys = system.memsys
+        page_local = sum(gpm.xbar.local_requests for gpm in system.gpms)
+        page_remote = sum(gpm.xbar.remote_requests for gpm in system.gpms)
+        config = system.config
+        digest = workload.digest() if hasattr(workload, "digest") else workload.name
+        return SimResult(
+            workload_name=workload.name,
+            system_name=config.name,
+            cycles=cycles,
+            kernels=self.kernels_executed,
+            ctas=self.ctas_executed,
+            records=self.records_executed,
+            loads=memsys.loads,
+            stores=memsys.stores,
+            remote_loads=memsys.remote_loads,
+            remote_stores=memsys.remote_stores,
+            l1=l1,
+            l15=l15,
+            l2=l2,
+            dram_bytes_read=dram_read,
+            dram_bytes_written=dram_written,
+            link_bytes=system.ring.total_link_bytes,
+            page_local=page_local,
+            page_remote=page_remote,
+            line_bytes=config.line_bytes,
+            link_tier=config.link_tier,
+            workload_digest=digest,
+            system_digest=config.digest(),
+        )

@@ -1,0 +1,49 @@
+"""High-level simulation façade.
+
+:func:`simulate` is the one-call public entry point: give it a workload
+(or a suite workload name) and a :class:`~repro.core.config.SystemConfig`,
+get a :class:`~repro.sim.result.SimResult` back.  A fresh
+:class:`~repro.core.gpu.GPUSystem` is built per call so runs never share
+state.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..core.config import SystemConfig
+from ..core.gpu import build_system
+from ..workloads.trace import Workload
+from .engine import SimulationEngine
+from .result import SimResult
+
+
+class Simulator:
+    """Reusable simulator bound to one system configuration.
+
+    Builds the system once; each :meth:`run` resets it, so results are
+    independent.  Use separate instances to run configurations in parallel.
+    """
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.system = build_system(config)
+        self.engine = SimulationEngine(self.system)
+
+    def run(self, workload: Union[Workload, str]) -> SimResult:
+        """Simulate ``workload`` (a Workload or a suite benchmark name)."""
+        resolved = _resolve_workload(workload)
+        return self.engine.run(resolved)
+
+
+def _resolve_workload(workload: Union[Workload, str]) -> Workload:
+    if isinstance(workload, str):
+        from ..workloads.suite import make_workload
+
+        return make_workload(workload)
+    return workload
+
+
+def simulate(workload: Union[Workload, str], config: SystemConfig) -> SimResult:
+    """Run one workload on one configuration (convenience wrapper)."""
+    return Simulator(config).run(workload)

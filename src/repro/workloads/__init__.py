@@ -1,0 +1,70 @@
+"""Synthetic workload suite: traces, patterns, and the 48-benchmark set."""
+
+from .characterize import WorkloadProfile, profile_spec, profile_workload
+from .patterns import (
+    PATTERNS,
+    AccessPattern,
+    BandedPattern,
+    GlobalStridePattern,
+    HotsetPattern,
+    IrregularPattern,
+    StencilPattern,
+    StreamingPattern,
+    make_pattern,
+)
+from .rng import rng_for, stable_seed
+from .suite import (
+    all_specs,
+    c_intensive_specs,
+    limited_parallelism_specs,
+    m_intensive_specs,
+    make_workload,
+    scaled_footprint,
+    spec_by_name,
+    specs_by_category,
+    suite_workloads,
+)
+from .synthetic import Category, SyntheticWorkload, WorkloadSpec
+from .trace import (
+    CTATrace,
+    KernelLaunch,
+    TraceRecord,
+    Workload,
+    records_from_arrays,
+    write_period_from_fraction,
+)
+
+__all__ = [
+    "WorkloadProfile",
+    "profile_spec",
+    "profile_workload",
+    "PATTERNS",
+    "AccessPattern",
+    "BandedPattern",
+    "GlobalStridePattern",
+    "HotsetPattern",
+    "IrregularPattern",
+    "StencilPattern",
+    "StreamingPattern",
+    "make_pattern",
+    "rng_for",
+    "stable_seed",
+    "all_specs",
+    "c_intensive_specs",
+    "limited_parallelism_specs",
+    "m_intensive_specs",
+    "make_workload",
+    "scaled_footprint",
+    "spec_by_name",
+    "specs_by_category",
+    "suite_workloads",
+    "Category",
+    "SyntheticWorkload",
+    "WorkloadSpec",
+    "CTATrace",
+    "KernelLaunch",
+    "TraceRecord",
+    "Workload",
+    "records_from_arrays",
+    "write_period_from_fraction",
+]

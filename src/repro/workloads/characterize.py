@@ -1,0 +1,91 @@
+"""Static workload characterization.
+
+Computes, from traces alone (no timing simulation), the properties the
+paper uses to classify its suite (Section 4): memory intensity, footprint
+coverage, inter-CTA sharing, and hot-set concentration.  Useful both for
+auditing the synthetic suite's composition claims and for sizing new
+workload specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set
+
+from .synthetic import SyntheticWorkload, WorkloadSpec
+from .trace import KernelLaunch
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Trace-level statistics of one workload (first kernel, sampled CTAs)."""
+
+    name: str
+    sampled_ctas: int
+    total_accesses: int
+    store_fraction: float
+    compute_per_access: float
+    distinct_lines: int
+    footprint_coverage: float
+    #: Fraction of sampled lines touched by more than one sampled CTA.
+    shared_line_fraction: float
+    #: Fraction of accesses landing on the 10% most-touched lines.
+    hot_concentration: float
+
+    @property
+    def memory_intensity(self) -> float:
+        """Accesses per compute cycle — higher means more memory-bound."""
+        if self.compute_per_access <= 0:
+            return float("inf")
+        return 1.0 / self.compute_per_access
+
+
+def _sample_ctas(kernel: KernelLaunch, max_ctas: int) -> Iterable[int]:
+    if kernel.n_ctas <= max_ctas:
+        return range(kernel.n_ctas)
+    step = kernel.n_ctas / max_ctas
+    return (int(index * step) for index in range(max_ctas))
+
+
+def profile_workload(workload: SyntheticWorkload, max_ctas: int = 64) -> WorkloadProfile:
+    """Characterize ``workload`` from its first kernel's traces."""
+    spec = workload.spec
+    kernel = next(iter(workload.kernels()))
+    touch_counts: Dict[int, int] = {}
+    ctas_touching: Dict[int, Set[int]] = {}
+    accesses = 0
+    stores = 0
+    compute = 0.0
+    sampled = 0
+    for cta_index in _sample_ctas(kernel, max_ctas):
+        sampled += 1
+        for group in kernel.trace_fn(cta_index):
+            for record in group:
+                compute += record.compute_cycles
+                for line in record.reads + record.writes:
+                    accesses += 1
+                    touch_counts[line] = touch_counts.get(line, 0) + 1
+                    ctas_touching.setdefault(line, set()).add(cta_index)
+                stores += len(record.writes)
+
+    distinct = len(touch_counts)
+    shared = sum(1 for ctas in ctas_touching.values() if len(ctas) > 1)
+    ordered = sorted(touch_counts.values(), reverse=True)
+    hot_count = max(1, distinct // 10)
+    hot_accesses = sum(ordered[:hot_count])
+    return WorkloadProfile(
+        name=workload.name,
+        sampled_ctas=sampled,
+        total_accesses=accesses,
+        store_fraction=stores / accesses if accesses else 0.0,
+        compute_per_access=compute / accesses if accesses else 0.0,
+        distinct_lines=distinct,
+        footprint_coverage=distinct / spec.footprint_lines,
+        shared_line_fraction=shared / distinct if distinct else 0.0,
+        hot_concentration=hot_accesses / accesses if accesses else 0.0,
+    )
+
+
+def profile_spec(spec: WorkloadSpec, max_ctas: int = 64) -> WorkloadProfile:
+    """Characterize a spec directly."""
+    return profile_workload(SyntheticWorkload(spec), max_ctas=max_ctas)

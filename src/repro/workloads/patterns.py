@@ -1,0 +1,358 @@
+"""Memory access-pattern generators for the synthetic workload suite.
+
+Each pattern produces, for one CTA, the flat sequence of line addresses its
+warp groups will touch.  The patterns model the application classes named
+in the paper's evaluation:
+
+* :class:`StreamingPattern` — bulk sequential sweeps (Stream triad,
+  NN-Conv activations, Srad): each CTA owns a contiguous chunk.
+* :class:`StencilPattern` — iterative nearest-neighbor solvers (Lulesh,
+  MiniAMR, CFD, CoMD, Nekbone): chunked like streaming plus halo accesses
+  into neighboring CTAs' chunks, identical across kernel re-launches.
+* :class:`IrregularPattern` — graph workloads (BFS, SSSP, MST): uniform
+  random over the footprint with an optional hot vertex region.
+* :class:`HotsetPattern` — clustering/reduction workloads (Kmeans): a
+  small shared hot region (centroids) plus a private streaming sweep.
+
+Whether a pattern re-rolls its addresses on every kernel launch is part of
+its semantics (``kernel_variant``): solvers re-touch the same data each
+iteration; graph frontiers move.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict
+
+import numpy as np
+
+
+class AccessPattern(ABC):
+    """Produces per-CTA line-address sequences."""
+
+    #: When True the address stream differs between kernel launches
+    #: (the generator RNG is seeded with the kernel index as well).
+    kernel_variant = False
+
+    @abstractmethod
+    def generate(
+        self,
+        cta_index: int,
+        n_ctas: int,
+        n_accesses: int,
+        footprint_lines: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Line addresses (int64 array of length ``n_accesses``)."""
+
+    def params(self) -> Dict[str, object]:
+        """Parameters for digests/reports; override when parameterized."""
+        return {}
+
+    def digest(self) -> str:
+        """Stable identity string."""
+        inner = ",".join(f"{key}={value}" for key, value in sorted(self.params().items()))
+        return f"{type(self).__name__}({inner})"
+
+
+def _chunk_bounds(cta_index: int, n_ctas: int, footprint_lines: int) -> range:
+    """Contiguous slice of the footprint owned by ``cta_index``.
+
+    Uses the same balanced split as the distributed scheduler so chunk and
+    CTA-batch boundaries align the way real block-partitioned kernels do.
+    """
+    base, extra = divmod(footprint_lines, n_ctas)
+    start = cta_index * base + min(cta_index, extra)
+    count = base + (1 if cta_index < extra else 0)
+    return range(start, start + max(1, count))
+
+
+class StreamingPattern(AccessPattern):
+    """Sequential sweep over the CTA's private chunk, wrapping on overflow."""
+
+    def __init__(self, stride: int = 1) -> None:
+        if stride <= 0:
+            raise ValueError(f"stride must be positive, got {stride}")
+        self.stride = stride
+
+    def generate(self, cta_index, n_ctas, n_accesses, footprint_lines, rng):
+        chunk = _chunk_bounds(cta_index, n_ctas, footprint_lines)
+        chunk_len = len(chunk)
+        offsets = (np.arange(n_accesses, dtype=np.int64) * self.stride) % chunk_len
+        return chunk.start + offsets
+
+    def params(self):
+        return {"stride": self.stride}
+
+
+class StencilPattern(AccessPattern):
+    """Chunked sweep plus halo exchanges with neighboring CTAs' chunks.
+
+    ``halo_fraction`` of accesses read the border region of the previous or
+    next CTA's chunk — the inter-CTA spatial locality that distributed
+    scheduling converts into GPM-local sharing (Section 5.2).  The stream
+    is a pure function of the CTA index, so re-launched kernels touch the
+    same lines (Figure 12).
+    """
+
+    kernel_variant = False
+
+    def __init__(self, halo_fraction: float = 0.15, halo_lines: int = 8) -> None:
+        if not 0.0 <= halo_fraction < 1.0:
+            raise ValueError(f"halo_fraction must be in [0, 1), got {halo_fraction}")
+        self.halo_fraction = halo_fraction
+        self.halo_lines = halo_lines
+
+    def generate(self, cta_index, n_ctas, n_accesses, footprint_lines, rng):
+        chunk = _chunk_bounds(cta_index, n_ctas, footprint_lines)
+        chunk_len = len(chunk)
+        addrs = chunk.start + (np.arange(n_accesses, dtype=np.int64) % chunk_len)
+        n_halo = int(n_accesses * self.halo_fraction)
+        if n_halo and n_ctas > 1:
+            positions = rng.choice(n_accesses, size=n_halo, replace=False)
+            neighbors = np.where(
+                rng.random(n_halo) < 0.5,
+                (cta_index - 1) % n_ctas,
+                (cta_index + 1) % n_ctas,
+            )
+            halo_addrs = np.empty(n_halo, dtype=np.int64)
+            for i, neighbor in enumerate(neighbors):
+                nb_chunk = _chunk_bounds(int(neighbor), n_ctas, footprint_lines)
+                # Border of the neighbor chunk facing this CTA.
+                depth = min(self.halo_lines, len(nb_chunk))
+                if neighbor == (cta_index - 1) % n_ctas:
+                    halo_addrs[i] = nb_chunk.stop - 1 - rng.integers(depth)
+                else:
+                    halo_addrs[i] = nb_chunk.start + rng.integers(depth)
+            addrs[positions] = halo_addrs
+        return addrs
+
+    def params(self):
+        return {"halo_fraction": self.halo_fraction, "halo_lines": self.halo_lines}
+
+
+class IrregularPattern(AccessPattern):
+    """Uniform random accesses with an optional hot (high-degree) region.
+
+    Models graph traversals: ``hot_fraction`` of accesses hit the first
+    ``hot_lines`` of the footprint (high-degree vertices); of the rest,
+    ``local_bias`` are drawn from the CTA's own partition of the vertex
+    array (community structure — graph partitioners place most of a
+    block's neighbors in the same block) and the remainder are uniform
+    over the whole footprint.  The frontier moves between kernel launches,
+    so the stream is re-rolled per kernel (``kernel_variant``).
+    """
+
+    kernel_variant = True
+
+    def __init__(
+        self,
+        hot_fraction: float = 0.3,
+        hot_lines: int = 512,
+        local_bias: float = 0.0,
+    ) -> None:
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError(f"hot_fraction must be in [0, 1], got {hot_fraction}")
+        if not 0.0 <= local_bias <= 1.0:
+            raise ValueError(f"local_bias must be in [0, 1], got {local_bias}")
+        self.hot_fraction = hot_fraction
+        self.hot_lines = hot_lines
+        self.local_bias = local_bias
+
+    def generate(self, cta_index, n_ctas, n_accesses, footprint_lines, rng):
+        hot_lines = min(self.hot_lines, footprint_lines)
+        addrs = rng.integers(0, footprint_lines, size=n_accesses, dtype=np.int64)
+        if self.local_bias:
+            chunk = _chunk_bounds(cta_index, n_ctas, footprint_lines)
+            local_mask = rng.random(n_accesses) < self.local_bias
+            n_local = int(local_mask.sum())
+            if n_local:
+                addrs[local_mask] = chunk.start + rng.integers(
+                    0, len(chunk), size=n_local, dtype=np.int64
+                )
+        if hot_lines and self.hot_fraction:
+            hot_mask = rng.random(n_accesses) < self.hot_fraction
+            n_hot = int(hot_mask.sum())
+            addrs[hot_mask] = rng.integers(0, hot_lines, size=n_hot, dtype=np.int64)
+        return addrs
+
+    def params(self):
+        return {
+            "hot_fraction": self.hot_fraction,
+            "hot_lines": self.hot_lines,
+            "local_bias": self.local_bias,
+        }
+
+
+class HotsetPattern(AccessPattern):
+    """Shared hot region plus a private streaming sweep.
+
+    The first ``hot_lines`` of the footprint are shared by all CTAs
+    (centroids, lookup tables); the remainder is chunk-partitioned and
+    swept sequentially.  The private sweep is deterministic per CTA so
+    iterative kernels (kmeans steps) re-touch the same points.
+    """
+
+    kernel_variant = False
+
+    def __init__(self, hot_fraction: float = 0.4, hot_lines: int = 256) -> None:
+        if not 0.0 <= hot_fraction < 1.0:
+            raise ValueError(f"hot_fraction must be in [0, 1), got {hot_fraction}")
+        self.hot_fraction = hot_fraction
+        self.hot_lines = hot_lines
+
+    def generate(self, cta_index, n_ctas, n_accesses, footprint_lines, rng):
+        hot_lines = min(self.hot_lines, max(1, footprint_lines - n_ctas))
+        cold_lines = footprint_lines - hot_lines
+        chunk = _chunk_bounds(cta_index, n_ctas, cold_lines)
+        chunk_len = len(chunk)
+        addrs = hot_lines + chunk.start + (np.arange(n_accesses, dtype=np.int64) % chunk_len)
+        hot_mask = rng.random(n_accesses) < self.hot_fraction
+        n_hot = int(hot_mask.sum())
+        if n_hot:
+            addrs[hot_mask] = rng.integers(0, hot_lines, size=n_hot, dtype=np.int64)
+        return addrs
+
+    def params(self):
+        return {"hot_fraction": self.hot_fraction, "hot_lines": self.hot_lines}
+
+
+class BandedPattern(AccessPattern):
+    """Private streaming plus a band region shared by contiguous CTAs.
+
+    Models block-decomposed solvers (Lulesh, AMG, Nekbone, Srad rows):
+    every CTA sweeps its private chunk, and a ``band_fraction`` of its
+    accesses hit a *band* — data shared by the ``band_width_ctas``
+    contiguous CTAs of its block (boundary planes, coarse-grid rows,
+    shared operators).  Contiguous CTAs therefore reuse each other's band
+    lines densely and continuously.
+
+    This is precisely the inter-CTA locality distributed scheduling
+    converts into GPM-local traffic (Section 5.2): under the distributed
+    scheduler one GPM hosts whole bands and its L1.5 holds a few band
+    working sets; under the centralized scheduler every GPM touches every
+    active band and no cache can hold them all.
+
+    The stream is a pure function of the CTA index (``kernel_variant`` is
+    False), so iterative solvers re-touch the same lines each launch.
+    """
+
+    kernel_variant = False
+
+    def __init__(
+        self,
+        band_fraction: float = 0.35,
+        band_width_ctas: int = 128,
+        band_lines: int = 320,
+        band_skew: float = 2.0,
+    ) -> None:
+        if not 0.0 <= band_fraction < 1.0:
+            raise ValueError(f"band_fraction must be in [0, 1), got {band_fraction}")
+        if band_width_ctas <= 0:
+            raise ValueError(f"band_width_ctas must be positive, got {band_width_ctas}")
+        if band_lines <= 0:
+            raise ValueError(f"band_lines must be positive, got {band_lines}")
+        if band_skew < 1.0:
+            raise ValueError(f"band_skew must be >= 1, got {band_skew}")
+        self.band_fraction = band_fraction
+        self.band_width_ctas = band_width_ctas
+        self.band_lines = band_lines
+        #: Concentration of band accesses toward the front of the band
+        #: (``u**skew`` sampling): boundary planes are touched far more
+        #: often than deep halo layers, so a cache that holds only the hot
+        #: front still captures most band traffic.
+        self.band_skew = band_skew
+
+    def band_of_cta(self, cta_index: int) -> int:
+        """Band index the CTA belongs to."""
+        return cta_index // self.band_width_ctas
+
+    def _layout(self, n_ctas: int, footprint_lines: int):
+        """Split the footprint into band region (front) and private region."""
+        n_bands = -(-n_ctas // self.band_width_ctas)
+        # Cap bands at half the footprint so private chunks stay non-empty.
+        band_lines = min(self.band_lines, max(1, footprint_lines // (2 * n_bands)))
+        return n_bands, band_lines, n_bands * band_lines
+
+    def generate(self, cta_index, n_ctas, n_accesses, footprint_lines, rng):
+        n_bands, band_lines, band_region = self._layout(n_ctas, footprint_lines)
+        private_lines = footprint_lines - band_region
+        chunk = _chunk_bounds(cta_index, n_ctas, private_lines)
+        chunk_len = len(chunk)
+        addrs = band_region + chunk.start + (
+            np.arange(n_accesses, dtype=np.int64) % chunk_len
+        )
+        band_mask = rng.random(n_accesses) < self.band_fraction
+        n_band = int(band_mask.sum())
+        if n_band:
+            band_base = self.band_of_cta(cta_index) % n_bands * band_lines
+            offsets = (rng.random(n_band) ** self.band_skew * band_lines).astype(np.int64)
+            addrs[band_mask] = band_base + offsets
+        return addrs
+
+    def params(self):
+        return {
+            "band_fraction": self.band_fraction,
+            "band_width_ctas": self.band_width_ctas,
+            "band_lines": self.band_lines,
+            "band_skew": self.band_skew,
+        }
+
+
+class GlobalStridePattern(AccessPattern):
+    """CTA-interleaved global sweep: CTA ``i`` touches lines i, i+N, i+2N...
+
+    Models transposed/column-major passes (the second pass of a 2-D DWT,
+    gather phases of reordering kernels): every page is shared by many
+    CTAs, yet no two CTAs ever touch the *same line*.  This is the
+    pathological case for all three MCM-GPU optimizations — first-touch
+    placement cannot localize shared pages, and there is no reuse for the
+    L1.5 to capture, so its lookup latency is pure overhead.  The paper's
+    DWT (up to -14.6% on the optimized design) behaves this way.
+    """
+
+    kernel_variant = False
+
+    #: Large prime used to shuffle CTA indices onto lanes, so CTAs that are
+    #: contiguous in index space (and therefore co-scheduled by the
+    #: distributed scheduler) do NOT own contiguous lanes — the page-level
+    #: sharing is with far-away CTAs, exactly what defeats first-touch.
+    LANE_SHUFFLE_PRIME = 7919
+
+    def __init__(self, stride_ctas: int = 1, shuffle: bool = True) -> None:
+        if stride_ctas <= 0:
+            raise ValueError(f"stride_ctas must be positive, got {stride_ctas}")
+        self.stride_ctas = stride_ctas
+        self.shuffle = shuffle
+
+    def generate(self, cta_index, n_ctas, n_accesses, footprint_lines, rng):
+        lane = cta_index
+        if self.shuffle:
+            lane = (cta_index * self.LANE_SHUFFLE_PRIME) % n_ctas
+        step = n_ctas * self.stride_ctas
+        offsets = np.arange(n_accesses, dtype=np.int64) * step + lane
+        return offsets % footprint_lines
+
+    def params(self):
+        return {"stride_ctas": self.stride_ctas, "shuffle": self.shuffle}
+
+
+#: Registry for configuration-by-name.
+PATTERNS = {
+    "streaming": StreamingPattern,
+    "stencil": StencilPattern,
+    "irregular": IrregularPattern,
+    "hotset": HotsetPattern,
+    "banded": BandedPattern,
+    "global_stride": GlobalStridePattern,
+}
+
+
+def make_pattern(name: str, **params: object) -> AccessPattern:
+    """Instantiate a pattern from its registry name and parameters."""
+    try:
+        pattern_cls = PATTERNS[name]
+    except KeyError:
+        known = ", ".join(sorted(PATTERNS))
+        raise ValueError(f"unknown pattern {name!r}; expected one of: {known}")
+    return pattern_cls(**params)

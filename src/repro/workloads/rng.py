@@ -1,0 +1,28 @@
+"""Deterministic random-number seeding for workload generation.
+
+Every trace must be reproducible from (workload name, kernel index, CTA
+index) alone: the engine regenerates CTA traces on demand, and iterative
+kernels rely on identical per-CTA address streams across launches to model
+convergence-loop reuse (paper Section 5.3 / Figure 12).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+
+def stable_seed(*parts: object) -> int:
+    """A 32-bit seed derived deterministically from the given parts.
+
+    Uses CRC32 over the joined string representation — stable across
+    processes and Python versions (unlike ``hash``).
+    """
+    text = "|".join(str(part) for part in parts)
+    return zlib.crc32(text.encode("utf-8"))
+
+
+def rng_for(*parts: object) -> np.random.Generator:
+    """A numpy Generator seeded from :func:`stable_seed`."""
+    return np.random.default_rng(stable_seed(*parts))

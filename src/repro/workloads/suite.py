@@ -1,0 +1,353 @@
+"""The 48-benchmark synthetic suite (Section 4 of the paper).
+
+The paper evaluates 48 workloads drawn from CORAL, Lonestar, Rodinia and an
+NVIDIA in-house set, split into 17 memory-intensive high-parallelism
+workloads (named, with footprints, in Table 4), 16 compute-intensive
+high-parallelism workloads, and 15 limited-parallelism workloads (named
+examples in the text: SP, XSBench, DWT, NN, Streamcluster).  Only the
+Table 4 names are published; the remaining entries here are representative
+members of the cited suites, parameterized to land in the right category.
+
+Each entry is a :class:`~repro.workloads.synthetic.WorkloadSpec` whose
+pattern/footprint/compute parameters are chosen so the workload reproduces
+its class's qualitative behaviour on the MCM-GPU memory system (see
+DESIGN.md, "Substitutions").  Footprints are scaled by
+:data:`~repro.core.config.MEMORY_SCALE` and clamped to keep simulations
+tractable; Table 4's full-scale figures are preserved for reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import MEMORY_SCALE
+from .synthetic import Category, SyntheticWorkload, WorkloadSpec
+
+KB = 1 << 10
+MB = 1 << 20
+
+#: Bounds on the scaled simulation footprint.
+MIN_FOOTPRINT_BYTES = 256 * KB
+MAX_FOOTPRINT_BYTES = 8 * MB
+
+
+def scaled_footprint(paper_mb: float, scale: float = MEMORY_SCALE) -> int:
+    """Scaled simulation footprint for a Table 4 full-scale footprint.
+
+    Clamped so tiny inputs still exceed the (scaled) L2 working range and
+    multi-GB inputs stay simulable; the clamp preserves the property that
+    matters — the footprint:capacity ratio regime — as documented in
+    DESIGN.md.
+    """
+    return int(min(MAX_FOOTPRINT_BYTES, max(MIN_FOOTPRINT_BYTES, paper_mb * MB * scale)))
+
+
+def _m_intensive(
+    name: str,
+    pattern: str,
+    paper_mb: float,
+    pattern_params: Sequence = (),
+    write_fraction: float = 0.2,
+    compute_per_record: float = 8.0,
+    kernel_iterations: int = 2,
+    records_per_group: int = 4,
+    suite: str = "CORAL",
+    imbalance: float = 0.0,
+) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name,
+        category=Category.M_INTENSIVE,
+        suite=suite,
+        pattern=pattern,
+        pattern_params=tuple(pattern_params),
+        n_ctas=1536,
+        groups_per_cta=2,
+        records_per_group=records_per_group,
+        accesses_per_record=4,
+        write_fraction=write_fraction,
+        compute_per_record=compute_per_record,
+        kernel_iterations=kernel_iterations,
+        footprint_bytes=scaled_footprint(paper_mb),
+        paper_footprint_mb=paper_mb,
+        imbalance=imbalance,
+    )
+
+
+def _c_intensive(
+    name: str,
+    pattern: str,
+    footprint_mb: float = 2.0,
+    pattern_params: Sequence = (),
+    write_fraction: float = 0.12,
+    compute_per_record: float = 64.0,
+    kernel_iterations: int = 2,
+    records_per_group: int = 4,
+    accesses_per_record: int = 2,
+    suite: str = "Rodinia",
+    imbalance: float = 0.0,
+) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name,
+        category=Category.C_INTENSIVE,
+        suite=suite,
+        pattern=pattern,
+        pattern_params=tuple(pattern_params),
+        n_ctas=1536,
+        groups_per_cta=2,
+        records_per_group=records_per_group,
+        accesses_per_record=accesses_per_record,
+        write_fraction=write_fraction,
+        compute_per_record=compute_per_record,
+        kernel_iterations=kernel_iterations,
+        # For the unnamed workloads footprint_mb is the *scaled* footprint.
+        footprint_bytes=max(MIN_FOOTPRINT_BYTES, int(footprint_mb * MB)),
+        paper_footprint_mb=None,
+        imbalance=imbalance,
+    )
+
+
+def _limited(
+    name: str,
+    pattern: str,
+    n_ctas: int,
+    footprint_kb: int = 768,
+    pattern_params: Sequence = (),
+    write_fraction: float = 0.15,
+    compute_per_record: float = 56.0,
+    kernel_iterations: int = 2,
+    records_per_group: int = 6,
+    accesses_per_record: int = 2,
+    suite: str = "Rodinia",
+    imbalance: float = 0.0,
+) -> WorkloadSpec:
+    # Limited-parallelism kernels have few but *wide* CTAs: 6 warp groups
+    # (48 warps) per CTA, so an SM holding a single CTA still hides most
+    # memory latency — matching the paper's modest NUMA sensitivity for
+    # this category.
+    return WorkloadSpec(
+        name=name,
+        category=Category.LIMITED_PARALLELISM,
+        suite=suite,
+        pattern=pattern,
+        pattern_params=tuple(pattern_params),
+        n_ctas=n_ctas,
+        groups_per_cta=6,
+        records_per_group=records_per_group,
+        accesses_per_record=accesses_per_record,
+        write_fraction=write_fraction,
+        compute_per_record=compute_per_record,
+        kernel_iterations=kernel_iterations,
+        footprint_bytes=max(MIN_FOOTPRINT_BYTES, footprint_kb * KB),
+        paper_footprint_mb=None,
+        imbalance=imbalance,
+    )
+
+
+def m_intensive_specs() -> List[WorkloadSpec]:
+    """The 17 memory-intensive workloads of Table 4, in table order."""
+    return [
+        _m_intensive("AMG", "banded", 5430,
+                     [("band_fraction", 0.33), ("band_width_ctas", 128), ("band_lines", 288)],
+                     kernel_iterations=2, suite="CORAL"),
+        _m_intensive("NN-Conv", "streaming", 496, write_fraction=0.10,
+                     compute_per_record=16.0, kernel_iterations=2, suite="NVIDIA"),
+        _m_intensive("BFS", "irregular",
+                     37, [("hot_fraction", 0.55), ("hot_lines", 512), ("local_bias", 0.55)],
+                     write_fraction=0.15, kernel_iterations=2, suite="Lonestar"),
+        _m_intensive("CFD", "banded", 25,
+                     [("band_fraction", 0.42), ("band_width_ctas", 128), ("band_lines", 320)],
+                     write_fraction=0.25, kernel_iterations=2, suite="Rodinia"),
+        _m_intensive("CoMD", "banded", 385,
+                     [("band_fraction", 0.47), ("band_width_ctas", 128), ("band_lines", 320)],
+                     kernel_iterations=2, suite="CORAL"),
+        _m_intensive("Kmeans", "hotset",
+                     216, [("hot_fraction", 0.40), ("hot_lines", 384)],
+                     write_fraction=0.10, kernel_iterations=2, suite="Rodinia"),
+        _m_intensive("Lulesh1", "banded", 1891,
+                     [("band_fraction", 0.38), ("band_width_ctas", 128), ("band_lines", 320)],
+                     kernel_iterations=2, suite="CORAL"),
+        _m_intensive("Lulesh2", "banded", 4309,
+                     [("band_fraction", 0.33), ("band_width_ctas", 128), ("band_lines", 288)],
+                     kernel_iterations=2, suite="CORAL"),
+        _m_intensive("Lulesh3", "banded", 203,
+                     [("band_fraction", 0.38), ("band_width_ctas", 128), ("band_lines", 320)],
+                     kernel_iterations=2, suite="CORAL", imbalance=0.6),
+        _m_intensive("MiniAMR", "banded", 5407,
+                     [("band_fraction", 0.30), ("band_width_ctas", 128), ("band_lines", 288)],
+                     kernel_iterations=2, suite="CORAL"),
+        _m_intensive("MnCtct", "irregular",
+                     251, [("hot_fraction", 0.45), ("hot_lines", 512), ("local_bias", 0.50)],
+                     kernel_iterations=2, suite="CORAL"),
+        _m_intensive("MST", "irregular",
+                     73, [("hot_fraction", 0.50), ("hot_lines", 512), ("local_bias", 0.50)],
+                     kernel_iterations=2, suite="Lonestar"),
+        _m_intensive("Nekbone1", "banded", 1746,
+                     [("band_fraction", 0.35), ("band_width_ctas", 128), ("band_lines", 288)],
+                     compute_per_record=12.0, kernel_iterations=2, suite="CORAL"),
+        _m_intensive("Nekbone2", "banded", 287,
+                     [("band_fraction", 0.35), ("band_width_ctas", 128), ("band_lines", 288)],
+                     compute_per_record=12.0, kernel_iterations=2, suite="CORAL"),
+        _m_intensive("Srad-v2", "banded", 96,
+                     [("band_fraction", 0.42), ("band_width_ctas", 128), ("band_lines", 320)],
+                     write_fraction=0.25,
+                     kernel_iterations=2, suite="Rodinia"),
+        _m_intensive("SSSP", "irregular",
+                     37, [("hot_fraction", 0.60), ("hot_lines", 512), ("local_bias", 0.55)],
+                     write_fraction=0.15, kernel_iterations=2, suite="Lonestar"),
+        _m_intensive("Stream", "streaming", 3072, write_fraction=0.33,
+                     compute_per_record=2.0, suite="NVIDIA"),
+    ]
+
+
+def c_intensive_specs() -> List[WorkloadSpec]:
+    """16 compute-intensive high-parallelism workloads.
+
+    SP and XSBench are named by the paper as the high-gain members of this
+    group (Section 5.4); they get lower compute density and hotter sharing
+    so they remain sensitive to inter-GPM bandwidth.
+    """
+    return [
+        _c_intensive("SP", "irregular", 3.0,
+                     [("hot_fraction", 0.60), ("hot_lines", 384), ("local_bias", 0.50)],
+                     compute_per_record=24.0, kernel_iterations=2,
+                     accesses_per_record=4, suite="Lonestar"),
+        _c_intensive("XSBench", "hotset", 4.0,
+                     [("hot_fraction", 0.55), ("hot_lines", 384)],
+                     compute_per_record=32.0, kernel_iterations=2,
+                     accesses_per_record=4, suite="CORAL"),
+        _c_intensive("Backprop", "streaming", 2.0, compute_per_record=240.0),
+        _c_intensive("Hotspot", "stencil", 1.5, [("halo_fraction", 0.15)],
+                     compute_per_record=150.0, kernel_iterations=2),
+        _c_intensive("LavaMD", "stencil", 2.0, [("halo_fraction", 0.20)],
+                     compute_per_record=190.0),
+        _c_intensive("Pathfinder", "streaming", 2.0, compute_per_record=220.0),
+        _c_intensive("NW", "stencil", 1.0, [("halo_fraction", 0.10)],
+                     compute_per_record=170.0),
+        _c_intensive("Gaussian", "streaming", 1.5, compute_per_record=220.0),
+        _c_intensive("Heartwall", "hotset", 1.0,
+                     [("hot_fraction", 0.40), ("hot_lines", 128)],
+                     compute_per_record=150.0),
+        _c_intensive("Leukocyte", "hotset", 1.0,
+                     [("hot_fraction", 0.45), ("hot_lines", 128)],
+                     compute_per_record=160.0),
+        _c_intensive("Myocyte", "hotset", 0.5,
+                     [("hot_fraction", 0.60), ("hot_lines", 96)],
+                     compute_per_record=160.0),
+        _c_intensive("B+Tree", "irregular", 2.0,
+                     [("hot_fraction", 0.40), ("hot_lines", 384), ("local_bias", 0.40)],
+                     compute_per_record=100.0),
+        _c_intensive("DMR", "irregular", 2.0,
+                     [("hot_fraction", 0.25), ("hot_lines", 512), ("local_bias", 0.35)],
+                     compute_per_record=100.0, suite="Lonestar", imbalance=0.5),
+        _c_intensive("MatMul", "hotset", 2.0,
+                     [("hot_fraction", 0.30), ("hot_lines", 384)],
+                     compute_per_record=150.0, suite="NVIDIA"),
+        _c_intensive("FFT", "streaming", 2.0, [("stride", 4)],
+                     compute_per_record=220.0, suite="NVIDIA"),
+        _c_intensive("MCOptions", "irregular", 1.0,
+                     [("hot_fraction", 0.20), ("hot_lines", 192), ("local_bias", 0.35)],
+                     write_fraction=0.05, compute_per_record=140.0, suite="NVIDIA"),
+    ]
+
+
+def limited_parallelism_specs() -> List[WorkloadSpec]:
+    """15 limited-parallelism workloads (parallel efficiency < 25%).
+
+    DWT and NN are the paper's examples of latency-sensitive workloads the
+    L1.5 can hurt (Section 5.4): low occupancy, dependent accesses, no
+    reuse for the L1.5 to capture.  Streamcluster is the write-heavy
+    workload punished by the shrunken write-back L2.
+    """
+    return [
+        _limited("DWT", "global_stride", 97, footprint_kb=1024,
+                 pattern_params=[("stride_ctas", 1)], compute_per_record=12.0,
+                 accesses_per_record=1, records_per_group=10),
+        _limited("NN", "irregular", 96, footprint_kb=2048,
+                 pattern_params=[("hot_fraction", 0.0), ("hot_lines", 0)],
+                 compute_per_record=8.0, accesses_per_record=1,
+                 records_per_group=12, imbalance=0.6),
+        _limited("Streamcluster", "streaming", 128, footprint_kb=384,
+                 write_fraction=0.55, compute_per_record=8.0,
+                 accesses_per_record=4, records_per_group=8),
+        _limited("BH", "banded", 144, footprint_kb=1536,
+                 pattern_params=[("band_fraction", 0.35), ("band_width_ctas", 64),
+                                 ("band_lines", 224), ("band_skew", 2.0)],
+                 compute_per_record=130.0, suite="Lonestar"),
+        _limited("SCC", "irregular", 120, footprint_kb=1024,
+                 pattern_params=[("hot_fraction", 0.75), ("hot_lines", 128), ("local_bias", 0.40)],
+                 suite="Lonestar"),
+        _limited("PTA", "irregular", 144, footprint_kb=1024,
+                 pattern_params=[("hot_fraction", 0.80), ("hot_lines", 128), ("local_bias", 0.40)],
+                 suite="Lonestar"),
+        _limited("MRI-Q", "hotset", 128, footprint_kb=512,
+                 pattern_params=[("hot_fraction", 0.85), ("hot_lines", 64)],
+                 compute_per_record=130.0),
+        _limited("MRI-Grid", "banded", 136, footprint_kb=768,
+                 pattern_params=[("band_fraction", 0.35), ("band_width_ctas", 56),
+                                 ("band_lines", 192), ("band_skew", 2.0)],
+                 compute_per_record=150.0),
+        _limited("TPACF", "hotset", 120, footprint_kb=512,
+                 pattern_params=[("hot_fraction", 0.85), ("hot_lines", 64)],
+                 compute_per_record=150.0),
+        _limited("LUD", "hotset", 104, footprint_kb=512,
+                 pattern_params=[("hot_fraction", 0.80), ("hot_lines", 64)],
+                 compute_per_record=110.0, imbalance=0.4),
+        _limited("NQueens", "hotset", 64, footprint_kb=256,
+                 pattern_params=[("hot_fraction", 0.75), ("hot_lines", 48)],
+                 compute_per_record=140.0, suite="NVIDIA"),
+        _limited("Cutcp", "stencil", 136, footprint_kb=768,
+                 pattern_params=[("halo_fraction", 0.20)],
+                 compute_per_record=96.0),
+        _limited("SAD", "streaming", 144, footprint_kb=1024,
+                 compute_per_record=220.0),
+        _limited("Delaunay", "banded", 120, footprint_kb=1024,
+                 pattern_params=[("band_fraction", 0.35), ("band_width_ctas", 48),
+                                 ("band_lines", 192), ("band_skew", 2.0)],
+                 compute_per_record=150.0, suite="Lonestar"),
+        _limited("HistoEq", "hotset", 128, footprint_kb=512,
+                 pattern_params=[("hot_fraction", 0.75), ("hot_lines", 64)],
+                 write_fraction=0.30, compute_per_record=96.0),
+    ]
+
+
+def all_specs() -> List[WorkloadSpec]:
+    """All 48 workloads: 17 M-intensive, 16 C-intensive, 15 limited."""
+    return m_intensive_specs() + c_intensive_specs() + limited_parallelism_specs()
+
+
+def specs_by_category() -> Dict[Category, List[WorkloadSpec]]:
+    """The suite grouped by paper category."""
+    grouped: Dict[Category, List[WorkloadSpec]] = {category: [] for category in Category}
+    for spec in all_specs():
+        grouped[spec.category].append(spec)
+    return grouped
+
+
+def spec_by_name(name: str) -> WorkloadSpec:
+    """Look up one workload by its suite name."""
+    for spec in all_specs():
+        if spec.name == name:
+            return spec
+    raise KeyError(f"no workload named {name!r} in the suite")
+
+
+def make_workload(name_or_spec) -> SyntheticWorkload:
+    """Build a runnable workload from a suite name or an explicit spec."""
+    if isinstance(name_or_spec, WorkloadSpec):
+        return SyntheticWorkload(name_or_spec)
+    return SyntheticWorkload(spec_by_name(str(name_or_spec)))
+
+
+def suite_workloads(
+    category: Optional[Category] = None,
+    fast_factor: Optional[float] = None,
+) -> List[SyntheticWorkload]:
+    """Runnable workloads for the whole suite (or one category).
+
+    ``fast_factor`` shrinks every workload (CTAs and footprint) for quick
+    test runs while preserving structure.
+    """
+    specs = all_specs() if category is None else specs_by_category()[category]
+    if fast_factor is not None:
+        specs = [spec.scaled_down(fast_factor) for spec in specs]
+    return [SyntheticWorkload(spec) for spec in specs]

@@ -1,0 +1,117 @@
+"""Trace representation consumed by the simulation engine.
+
+A workload is a sequence of kernel launches; a kernel launch is a CTA count
+plus a function producing, for any CTA index, the memory/compute trace of
+each of its warp groups.  Traces are generated lazily (at CTA dispatch
+time) and deterministically (same CTA index -> same trace), which both
+bounds memory use and gives iterative kernels their cross-kernel locality
+for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, NamedTuple, Sequence, Tuple
+
+
+class TraceRecord(NamedTuple):
+    """One step of a warp group: a burst of compute then a memory batch.
+
+    ``compute_cycles`` is the latency of the arithmetic section;
+    ``reads``/``writes`` are line addresses issued together (the group's
+    memory-level parallelism).
+    """
+
+    compute_cycles: float
+    reads: Tuple[int, ...]
+    writes: Tuple[int, ...]
+
+    @property
+    def n_accesses(self) -> int:
+        """Loads plus stores in this record."""
+        return len(self.reads) + len(self.writes)
+
+
+#: The full trace of one CTA: one record list per warp group.
+CTATrace = List[List[TraceRecord]]
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """One kernel invocation.
+
+    Attributes
+    ----------
+    n_ctas:
+        Grid size in CTAs.
+    groups_per_cta:
+        Warp groups per CTA (8 paper warps each).
+    trace_fn:
+        ``trace_fn(cta_index) -> CTATrace``; must be deterministic.
+    label:
+        Human-readable identifier ("kmeans.k2" etc.).
+    """
+
+    n_ctas: int
+    groups_per_cta: int
+    trace_fn: Callable[[int], CTATrace]
+    label: str = "kernel"
+
+    def __post_init__(self) -> None:
+        if self.n_ctas <= 0:
+            raise ValueError(f"n_ctas must be positive, got {self.n_ctas}")
+        if self.groups_per_cta <= 0:
+            raise ValueError(f"groups_per_cta must be positive, got {self.groups_per_cta}")
+
+
+class Workload:
+    """Base interface: a named, categorized sequence of kernel launches."""
+
+    name: str = "workload"
+
+    def kernels(self) -> Iterator[KernelLaunch]:
+        """Yield kernel launches in program order."""
+        raise NotImplementedError
+
+    def digest(self) -> str:
+        """Stable identity string for result caching."""
+        raise NotImplementedError
+
+
+def records_from_arrays(
+    lines: Sequence[int],
+    write_period: int,
+    accesses_per_record: int,
+    compute_cycles: float,
+) -> List[TraceRecord]:
+    """Pack a flat line-address sequence into :class:`TraceRecord` batches.
+
+    Every ``write_period``-th access (1-indexed) becomes a store;
+    ``write_period`` of zero means no stores.  The final partial record is
+    kept (workloads rarely divide evenly).
+    """
+    if accesses_per_record <= 0:
+        raise ValueError(f"accesses_per_record must be positive, got {accesses_per_record}")
+    records: List[TraceRecord] = []
+    total = len(lines)
+    for start in range(0, total, accesses_per_record):
+        batch = lines[start : start + accesses_per_record]
+        reads: List[int] = []
+        writes: List[int] = []
+        for offset, line in enumerate(batch):
+            position = start + offset + 1
+            if write_period and position % write_period == 0:
+                writes.append(int(line))
+            else:
+                reads.append(int(line))
+        records.append(TraceRecord(compute_cycles, tuple(reads), tuple(writes)))
+    return records
+
+
+def write_period_from_fraction(write_fraction: float) -> int:
+    """Convert a store fraction into the modular period used by traces."""
+    if not 0.0 <= write_fraction < 1.0:
+        raise ValueError(f"write_fraction must be in [0, 1), got {write_fraction}")
+    if write_fraction == 0.0:
+        return 0
+    return max(1, round(1.0 / write_fraction))

@@ -1,0 +1,85 @@
+"""Unit tests for address arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.address import AddressMap, is_power_of_two
+
+
+class TestIsPowerOfTwo:
+    def test_accepts_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_rejects_non_powers(self):
+        for value in (0, -1, 3, 6, 12, 100, -8):
+            assert not is_power_of_two(value)
+
+
+class TestAddressMapValidation:
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError, match="line_bytes"):
+            AddressMap(line_bytes=96, page_bytes=1024)
+
+    def test_rejects_non_power_of_two_page(self):
+        with pytest.raises(ValueError, match="page_bytes"):
+            AddressMap(line_bytes=128, page_bytes=1000)
+
+    def test_rejects_page_smaller_than_line(self):
+        with pytest.raises(ValueError, match="multiple"):
+            AddressMap(line_bytes=128, page_bytes=64)
+
+
+class TestAddressMapMath:
+    def setup_method(self):
+        self.amap = AddressMap(line_bytes=128, page_bytes=2048)
+
+    def test_lines_per_page(self):
+        assert self.amap.lines_per_page == 16
+
+    def test_line_of_byte(self):
+        assert self.amap.line_of_byte(0) == 0
+        assert self.amap.line_of_byte(127) == 0
+        assert self.amap.line_of_byte(128) == 1
+
+    def test_byte_of_line_inverts(self):
+        assert self.amap.byte_of_line(self.amap.line_of_byte(12800)) == 12800
+
+    def test_page_of_line(self):
+        assert self.amap.page_of_line(0) == 0
+        assert self.amap.page_of_line(15) == 0
+        assert self.amap.page_of_line(16) == 1
+
+    def test_page_of_byte_consistent_with_page_of_line(self):
+        for byte_addr in (0, 100, 2047, 2048, 123456):
+            assert self.amap.page_of_byte(byte_addr) == self.amap.page_of_line(
+                self.amap.line_of_byte(byte_addr)
+            )
+
+    def test_footprint_rounding(self):
+        assert self.amap.lines_in_footprint(1) == 1
+        assert self.amap.lines_in_footprint(128) == 1
+        assert self.amap.lines_in_footprint(129) == 2
+        assert self.amap.pages_in_footprint(2049) == 2
+
+
+@given(byte_addr=st.integers(min_value=0, max_value=2**48))
+def test_line_page_consistency(byte_addr):
+    """A byte's page always contains the byte's line."""
+    amap = AddressMap(line_bytes=128, page_bytes=4096)
+    line = amap.line_of_byte(byte_addr)
+    assert amap.page_of_line(line) == amap.page_of_byte(byte_addr)
+
+
+@given(
+    line=st.integers(min_value=0, max_value=2**40),
+    line_exp=st.integers(min_value=5, max_value=9),
+    ratio_exp=st.integers(min_value=0, max_value=6),
+)
+def test_lines_per_page_partitions_lines(line, line_exp, ratio_exp):
+    """Exactly lines_per_page consecutive lines share each page."""
+    amap = AddressMap(line_bytes=1 << line_exp, page_bytes=1 << (line_exp + ratio_exp))
+    page = amap.page_of_line(line)
+    first_line_of_page = page * amap.lines_per_page
+    assert first_line_of_page <= line < first_line_of_page + amap.lines_per_page

@@ -1,0 +1,77 @@
+"""Unit tests for the Section 3.3.1 analytical bandwidth model."""
+
+import pytest
+
+from repro.core.analytical import (
+    expected_slowdown_bound,
+    required_link_bandwidth,
+    ring_average_hops,
+    supply_bandwidth_per_partition,
+)
+
+
+class TestSupplyBandwidth:
+    def test_fifty_percent_hit_doubles_supply(self):
+        """The paper's assumption: ~50% L2 hit -> each slice supplies 2b."""
+        assert supply_bandwidth_per_partition(768.0, 0.5) == pytest.approx(1536.0)
+
+    def test_zero_hit_rate_passthrough(self):
+        assert supply_bandwidth_per_partition(768.0, 0.0) == pytest.approx(768.0)
+
+    def test_rejects_invalid_hit_rate(self):
+        with pytest.raises(ValueError, match="l2_hit_rate"):
+            supply_bandwidth_per_partition(768.0, 1.0)
+
+
+class TestRingHops:
+    def test_four_gpm_ring(self):
+        assert ring_average_hops(4) == pytest.approx(4.0 / 3.0)
+
+    def test_two_nodes(self):
+        assert ring_average_hops(2) == 1.0
+
+    def test_single_node(self):
+        assert ring_average_hops(1) == 0.0
+
+
+class TestRequiredBandwidth:
+    def test_paper_example_4b(self):
+        """Section 3.3.1: 4 GPMs, b=768 GB/s, h=50% -> 4b per-GPM demand."""
+        req = required_link_bandwidth(4, 768.0, 0.5)
+        assert req.per_gpm_link_demand == pytest.approx(4 * 768.0)
+        assert req.egress_per_gpm == pytest.approx(1.5 * 768.0)
+        assert req.ingress_per_gpm == req.egress_per_gpm
+
+    def test_single_gpm_needs_nothing(self):
+        req = required_link_bandwidth(1, 768.0, 0.5)
+        assert req.per_gpm_link_demand == 0.0
+        assert req.total_link_hop_volume == 0.0
+
+    def test_demand_grows_with_hit_rate(self):
+        low = required_link_bandwidth(4, 768.0, 0.2)
+        high = required_link_bandwidth(4, 768.0, 0.6)
+        assert high.per_gpm_link_demand > low.per_gpm_link_demand
+
+    def test_rejects_bad_gpm_count(self):
+        with pytest.raises(ValueError, match="n_gpms"):
+            required_link_bandwidth(0, 768.0)
+
+
+class TestSlowdownBound:
+    def test_sufficient_links_no_slowdown(self):
+        assert expected_slowdown_bound(4000.0, 3072.0) == 1.0
+
+    def test_undersized_links_throttle(self):
+        assert expected_slowdown_bound(1536.0, 3072.0) == pytest.approx(0.5)
+
+    def test_zero_requirement(self):
+        assert expected_slowdown_bound(100.0, 0.0) == 1.0
+
+    def test_consistent_with_fig4_narrative(self):
+        """Low link settings bound throughput; 1.5 TB/s is the break-even."""
+        req = required_link_bandwidth(4, 768.0, 0.5)
+        # A setting of s yields per-GPM port capacity 2s (4 half-duplex ports).
+        assert expected_slowdown_bound(2 * 6144.0, req.per_gpm_link_demand) == 1.0
+        assert expected_slowdown_bound(2 * 1536.0, req.per_gpm_link_demand) == 1.0
+        assert expected_slowdown_bound(2 * 768.0, req.per_gpm_link_demand) == pytest.approx(0.5)
+        assert expected_slowdown_bound(2 * 384.0, req.per_gpm_link_demand) == pytest.approx(0.25)

@@ -1,0 +1,124 @@
+"""Unit and property tests for the bucketed bandwidth pipe."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.bandwidth import BandwidthPipe
+
+
+class TestValidation:
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError, match="bytes_per_cycle"):
+            BandwidthPipe(0)
+
+    def test_rejects_negative_time(self):
+        pipe = BandwidthPipe(100)
+        with pytest.raises(ValueError, match="non-negative"):
+            pipe.transfer(-1.0, 10)
+
+
+class TestSerialization:
+    def test_single_transfer_duration(self):
+        pipe = BandwidthPipe(128.0)
+        finish = pipe.transfer(0.0, 128)
+        assert finish == pytest.approx(1.0)
+
+    def test_uncontended_transfer_is_prompt(self):
+        pipe = BandwidthPipe(128.0)
+        finish = pipe.transfer(1000.0, 128)
+        assert finish == pytest.approx(1001.0)
+
+    def test_contention_queues(self):
+        pipe = BandwidthPipe(1.0, bucket_cycles=8.0)  # 8 bytes per bucket
+        first = pipe.transfer(0.0, 8)
+        second = pipe.transfer(0.0, 8)
+        assert second > first
+        assert second >= 16.0 * 0.99  # second fill lands in the next bucket
+
+    def test_counters(self):
+        pipe = BandwidthPipe(10.0)
+        pipe.transfer(0.0, 100)
+        pipe.transfer(5.0, 50)
+        assert pipe.bytes_transferred == 150
+        assert pipe.transfers == 2
+
+
+class TestOrderInsensitivity:
+    def test_late_charge_does_not_block_early_one(self):
+        """The failure mode of a naive busy_until cursor: a transfer booked
+        deep in the future must not delay one booked now."""
+        pipe = BandwidthPipe(768.0)
+        pipe.transfer(5000.0, 128)
+        early = pipe.transfer(0.0, 128)
+        assert early < 100.0
+
+    def test_same_demand_same_finish_any_order(self):
+        charges = [(0.0, 128), (100.0, 64), (3.0, 256), (50.0, 128)] * 5
+        finishes_fwd = []
+        pipe = BandwidthPipe(4.0, bucket_cycles=16.0)
+        for now, size in charges:
+            finishes_fwd.append(pipe.transfer(now, size))
+        pipe2 = BandwidthPipe(4.0, bucket_cycles=16.0)
+        total_fwd = pipe.bytes_transferred
+        for now, size in reversed(charges):
+            pipe2.transfer(now, size)
+        assert pipe2.bytes_transferred == total_fwd
+        # Aggregate completion (the last byte served) matches regardless of
+        # arrival order.
+        assert pipe2.busy_until == pytest.approx(max(finishes_fwd), rel=0.25)
+
+
+class TestUtilization:
+    def test_utilization_fraction(self):
+        pipe = BandwidthPipe(10.0)
+        pipe.transfer(0.0, 50)
+        assert pipe.utilization(10.0) == pytest.approx(0.5)
+
+    def test_zero_elapsed(self):
+        assert BandwidthPipe(10.0).utilization(0.0) == 0.0
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        pipe = BandwidthPipe(1.0)
+        pipe.transfer(0.0, 100)
+        pipe.reset()
+        assert pipe.bytes_transferred == 0
+        assert pipe.busy_until == 0.0
+        finish = pipe.transfer(0.0, 1)
+        assert finish <= 16.0  # first bucket again
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    charges=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+            st.integers(min_value=1, max_value=4096),
+        ),
+        min_size=1,
+        max_size=100,
+    ),
+    bandwidth=st.floats(min_value=0.5, max_value=1024.0),
+)
+def test_finish_respects_serialization_floor(charges, bandwidth):
+    """Property: finish >= now + bytes/bw, and finish is always finite."""
+    pipe = BandwidthPipe(bandwidth)
+    for now, size in charges:
+        finish = pipe.transfer(now, size)
+        assert finish >= now + size / bandwidth - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=512), min_size=1, max_size=200),
+)
+def test_sustained_demand_is_bandwidth_bound(sizes):
+    """Property: total service time for a burst is at least bytes/bw."""
+    pipe = BandwidthPipe(16.0, bucket_cycles=8.0)
+    last = 0.0
+    for size in sizes:
+        last = max(last, pipe.transfer(0.0, size))
+    total_bytes = sum(sizes)
+    assert last >= total_bytes / 16.0 - 8.0  # within one bucket of the bound

@@ -1,0 +1,86 @@
+"""Unit tests for comparison matrices."""
+
+import pytest
+
+from repro.analysis.compare import build_matrix, render_matrix
+from repro.memory.cache import CacheStats
+from repro.sim.result import SimResult
+from repro.workloads.suite import all_specs
+
+
+def result(name, cycles):
+    return SimResult(
+        workload_name=name,
+        system_name="sys",
+        cycles=cycles,
+        kernels=1,
+        ctas=1,
+        records=1,
+        loads=1,
+        stores=0,
+        remote_loads=0,
+        remote_stores=0,
+        l1=CacheStats(),
+        l15=CacheStats(),
+        l2=CacheStats(),
+        dram_bytes_read=0,
+        dram_bytes_written=0,
+        link_bytes=0,
+        page_local=0,
+        page_remote=0,
+    )
+
+
+def full_suite_results(factor):
+    return {spec.name: result(spec.name, 100.0 * factor) for spec in all_specs()}
+
+
+class TestBuildMatrix:
+    def test_speedups_relative_to_baseline(self):
+        baseline = full_suite_results(1.0)
+        configs = {"fast": full_suite_results(0.5), "slow": full_suite_results(2.0)}
+        matrix = build_matrix(baseline, configs)
+        assert matrix.column_labels == ["fast", "slow"]
+        first_row = next(iter(matrix.rows.values()))
+        assert first_row == [pytest.approx(2.0), pytest.approx(0.5)]
+
+    def test_category_geomeans_present(self):
+        matrix = build_matrix(full_suite_results(1.0), {"x": full_suite_results(0.8)})
+        assert set(matrix.category_geomeans) == {
+            "M-Intensive", "C-Intensive", "Limited Parallelism",
+        }
+        for values in matrix.category_geomeans.values():
+            assert values[0] == pytest.approx(1.25)
+
+    def test_incomplete_rows_dropped(self):
+        baseline = full_suite_results(1.0)
+        partial = full_suite_results(0.5)
+        del partial["Stream"]
+        matrix = build_matrix(baseline, {"partial": partial})
+        assert "Stream" not in matrix.rows
+        assert len(matrix.rows) == 47
+
+    def test_best_configuration(self):
+        matrix = build_matrix(
+            full_suite_results(1.0),
+            {"meh": full_suite_results(0.9), "best": full_suite_results(0.4)},
+        )
+        assert matrix.best_configuration() == "best"
+
+    def test_column_accessor(self):
+        matrix = build_matrix(full_suite_results(1.0), {"x": full_suite_results(0.5)})
+        column = matrix.column("x")
+        assert column["Stream"] == pytest.approx(2.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            build_matrix(full_suite_results(1.0), {})
+
+
+class TestRenderMatrix:
+    def test_render_contains_rows_and_footers(self):
+        matrix = build_matrix(full_suite_results(1.0), {"x": full_suite_results(0.5)})
+        text = render_matrix(matrix, title="T")
+        assert "Stream" in text
+        assert "[M-Intensive geomean]" in text
+        assert "speedup over baseline" in text

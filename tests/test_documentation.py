@@ -1,0 +1,83 @@
+"""Documentation coverage: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.core",
+    "repro.experiments",
+    "repro.interconnect",
+    "repro.memory",
+    "repro.multigpu",
+    "repro.sched",
+    "repro.sim",
+    "repro.workloads",
+]
+
+
+def iter_modules():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        for info in pkgutil.iter_modules(package.__path__, prefix=package_name + "."):
+            yield importlib.import_module(info.name)
+
+
+def public_members(module):
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        defined_here = getattr(member, "__module__", None) == module.__name__
+        if not defined_here:
+            continue
+        if inspect.isclass(member) or inspect.isfunction(member):
+            yield name, member
+
+
+class TestDocstrings:
+    def test_every_module_has_a_docstring(self):
+        undocumented = [
+            module.__name__ for module in iter_modules() if not (module.__doc__ or "").strip()
+        ]
+        assert not undocumented, f"modules without docstrings: {undocumented}"
+
+    def test_every_public_class_and_function_documented(self):
+        undocumented = []
+        for module in iter_modules():
+            for name, member in public_members(module):
+                if not (member.__doc__ or "").strip():
+                    undocumented.append(f"{module.__name__}.{name}")
+        assert not undocumented, f"undocumented public items: {undocumented}"
+
+    def test_public_methods_documented(self):
+        """Methods must be documented directly or inherit a documented
+        signature from a base class (overrides of abstract methods)."""
+        undocumented = []
+        for module in iter_modules():
+            for _, member in public_members(module):
+                if not inspect.isclass(member):
+                    continue
+                for method_name, method in vars(member).items():
+                    if method_name.startswith("_"):
+                        continue
+                    if not (inspect.isfunction(method) or isinstance(method, property)):
+                        continue
+                    doc = (
+                        method.fget.__doc__
+                        if isinstance(method, property) and method.fget
+                        else getattr(method, "__doc__", None)
+                    )
+                    if (doc or "").strip():
+                        continue
+                    inherited = any(
+                        (getattr(getattr(base, method_name, None), "__doc__", None) or "").strip()
+                        for base in member.__mro__[1:]
+                    )
+                    if not inherited:
+                        undocumented.append(f"{module.__name__}.{member.__name__}.{method_name}")
+        assert not undocumented, f"undocumented methods: {undocumented}"

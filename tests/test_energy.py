@@ -1,0 +1,65 @@
+"""Unit tests for the Table 2 energy model."""
+
+import pytest
+
+from repro.core.energy import (
+    DRAM_PJ_PER_BIT,
+    ENERGY_PJ_PER_BIT,
+    IntegrationTier,
+    breakdown_from_traffic,
+    dram_energy_joules,
+    energy_joules,
+)
+
+
+class TestConstants:
+    def test_paper_values(self):
+        assert ENERGY_PJ_PER_BIT[IntegrationTier.CHIP] == pytest.approx(0.080)
+        assert ENERGY_PJ_PER_BIT[IntegrationTier.PACKAGE] == pytest.approx(0.5)
+        assert ENERGY_PJ_PER_BIT[IntegrationTier.BOARD] == pytest.approx(10.0)
+        assert ENERGY_PJ_PER_BIT[IntegrationTier.SYSTEM] == pytest.approx(250.0)
+
+    def test_board_vs_package_ratio(self):
+        """Section 6.2: 0.5 pJ/b on package vs 10 pJ/b on board (20x)."""
+        ratio = (
+            ENERGY_PJ_PER_BIT[IntegrationTier.BOARD]
+            / ENERGY_PJ_PER_BIT[IntegrationTier.PACKAGE]
+        )
+        assert ratio == pytest.approx(20.0)
+
+
+class TestEnergyMath:
+    def test_energy_joules(self):
+        # 1 GB at 0.5 pJ/bit = 1e9 * 8 * 0.5e-12 J = 4 mJ
+        assert energy_joules(1e9, IntegrationTier.PACKAGE) == pytest.approx(4e-3)
+
+    def test_dram_energy(self):
+        assert dram_energy_joules(1e9) == pytest.approx(1e9 * 8 * DRAM_PJ_PER_BIT * 1e-12)
+
+
+class TestBreakdown:
+    def test_package_tier(self):
+        breakdown = breakdown_from_traffic(
+            on_chip_bytes=1e9,
+            inter_module_bytes=1e9,
+            dram_bytes=0,
+            inter_module_tier=IntegrationTier.PACKAGE,
+        )
+        # Package links cost 0.5/0.08 = 6.25x on-chip wires per byte.
+        assert breakdown.inter_module_joules / breakdown.on_chip_joules == pytest.approx(6.25)
+
+    def test_board_tier_is_20x_package(self):
+        package = breakdown_from_traffic(0, 1e9, 0, IntegrationTier.PACKAGE)
+        board = breakdown_from_traffic(0, 1e9, 0, IntegrationTier.BOARD)
+        assert board.inter_module_joules / package.inter_module_joules == pytest.approx(20.0)
+
+    def test_total_sums(self):
+        breakdown = breakdown_from_traffic(1e6, 2e6, 3e6)
+        assert breakdown.total_joules == pytest.approx(
+            breakdown.on_chip_joules + breakdown.inter_module_joules + breakdown.dram_joules
+        )
+
+    def test_as_dict(self):
+        data = breakdown_from_traffic(1e6, 2e6, 3e6).as_dict()
+        assert data["inter_module_tier"] == "package"
+        assert data["total_joules"] > 0

@@ -1,0 +1,176 @@
+"""Integration tests for the simulation engine."""
+
+import pytest
+
+from repro.core.gpu import build_system
+from repro.core.presets import baseline_mcm_gpu, mcm_gpu_with_l15, monolithic_gpu
+from repro.sim.engine import SimulationEngine
+from repro.sim.simulator import Simulator, simulate
+from repro.workloads.synthetic import Category, SyntheticWorkload, WorkloadSpec
+from repro.workloads.trace import KernelLaunch, TraceRecord, Workload
+
+
+def tiny_spec(**overrides):
+    base = dict(
+        name="tiny",
+        category=Category.M_INTENSIVE,
+        pattern="streaming",
+        n_ctas=32,
+        groups_per_cta=2,
+        records_per_group=4,
+        accesses_per_record=4,
+        write_fraction=0.25,
+        compute_per_record=4.0,
+        kernel_iterations=2,
+        footprint_bytes=512 * 1024,
+    )
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+def tiny_config(**overrides):
+    return baseline_mcm_gpu(n_gpms=4, sms_per_gpm=2, **overrides)
+
+
+class ExplicitWorkload(Workload):
+    """Hand-built workload for precise engine checks."""
+
+    name = "explicit"
+
+    def __init__(self, kernels):
+        self._kernels = kernels
+
+    def kernels(self):
+        return iter(self._kernels)
+
+    def digest(self):
+        return "explicit"
+
+
+class TestBasicExecution:
+    def test_all_ctas_and_records_execute(self):
+        workload = SyntheticWorkload(tiny_spec())
+        engine = SimulationEngine(build_system(tiny_config()))
+        result = engine.run(workload)
+        assert result.ctas == 32 * 2  # per kernel x 2 kernels
+        assert result.records == 32 * 2 * 4 * 2
+        assert result.kernels == 2
+        assert result.cycles > 0
+
+    def test_access_counts_match_trace(self):
+        workload = SyntheticWorkload(tiny_spec(write_fraction=0.0, kernel_iterations=1))
+        result = SimulationEngine(build_system(tiny_config())).run(workload)
+        assert result.loads == 32 * 2 * 4 * 4
+        assert result.stores == 0
+
+    def test_deterministic(self):
+        workload = SyntheticWorkload(tiny_spec())
+        a = SimulationEngine(build_system(tiny_config())).run(workload)
+        b = SimulationEngine(build_system(tiny_config())).run(workload)
+        assert a.cycles == b.cycles
+        assert a.link_bytes == b.link_bytes
+
+    def test_engine_reusable_across_runs(self):
+        engine = SimulationEngine(build_system(tiny_config()))
+        workload = SyntheticWorkload(tiny_spec())
+        first = engine.run(workload)
+        second = engine.run(workload)
+        assert first.cycles == second.cycles
+
+
+class TestSchedulingSemantics:
+    def test_kernels_run_back_to_back(self):
+        one = SyntheticWorkload(tiny_spec(kernel_iterations=1))
+        two = SyntheticWorkload(tiny_spec(kernel_iterations=2))
+        t_one = SimulationEngine(build_system(tiny_config())).run(one).cycles
+        t_two = SimulationEngine(build_system(tiny_config())).run(two).cycles
+        assert t_two > t_one * 1.5
+
+    def test_kernel_boundary_flushes_l1(self):
+        """Cross-kernel re-touch of identical lines must re-miss in L1."""
+        from repro.memory.cache import CacheStats
+
+        record = TraceRecord(1.0, (0, 4, 8), ())
+        kernel = KernelLaunch(1, 1, lambda cta: [[record]], "k")
+        workload = ExplicitWorkload([kernel, kernel])
+        system = build_system(tiny_config())
+        SimulationEngine(system).run(workload)
+        stats = CacheStats()
+        for gpm in system.gpms:
+            stats = stats.merge(gpm.aggregate_l1_stats())
+        assert stats.hits == 0
+        assert stats.misses == 6  # all three lines miss again in kernel 2
+
+    def test_more_ctas_than_slots_completes(self):
+        # 4 GPMs x 2 SMs x 4 slots = 32 resident; 96 CTAs = 3 waves.
+        workload = SyntheticWorkload(tiny_spec(n_ctas=96, kernel_iterations=1))
+        result = SimulationEngine(build_system(tiny_config())).run(workload)
+        assert result.ctas == 96
+
+    def test_distributed_scheduler_runs_all_ctas(self):
+        config = mcm_gpu_with_l15(
+            16, scheduler="distributed", placement="first_touch",
+            n_gpms=4, sms_per_gpm=2,
+        )
+        workload = SyntheticWorkload(tiny_spec(n_ctas=37, kernel_iterations=1))
+        result = SimulationEngine(build_system(config)).run(workload)
+        assert result.ctas == 37
+
+    def test_single_cta_kernel(self):
+        record = TraceRecord(5.0, (1,), ())
+        kernel = KernelLaunch(1, 1, lambda cta: [[record]], "solo")
+        result = SimulationEngine(build_system(tiny_config())).run(ExplicitWorkload([kernel]))
+        assert result.ctas == 1
+        assert result.records == 1
+
+    def test_trace_group_mismatch_rejected(self):
+        kernel = KernelLaunch(1, 2, lambda cta: [[TraceRecord(1.0, (1,), ())]], "bad")
+        engine = SimulationEngine(build_system(tiny_config()))
+        with pytest.raises(ValueError, match="groups"):
+            engine.run(ExplicitWorkload([kernel]))
+
+
+class TestTimingSanity:
+    def test_compute_bound_kernel_duration(self):
+        """A single compute-only warp group runs for ~its compute cycles."""
+        records = [[TraceRecord(1000.0, (), ()) for _ in range(3)]]
+        kernel = KernelLaunch(1, 1, lambda cta: records, "compute")
+        result = SimulationEngine(build_system(tiny_config())).run(ExplicitWorkload([kernel]))
+        assert result.cycles == pytest.approx(3000.0, rel=0.01)
+
+    def test_memory_latency_visible_for_single_group(self):
+        records = [[TraceRecord(0.0, (0,), ())]]
+        kernel = KernelLaunch(1, 1, lambda cta: records, "mem")
+        result = SimulationEngine(build_system(tiny_config())).run(ExplicitWorkload([kernel]))
+        assert result.cycles > 100.0  # at least DRAM latency
+
+    def test_parallel_groups_overlap(self):
+        """Two independent CTAs should not serialize on a big machine."""
+        records = [[TraceRecord(1000.0, (), ())]]
+        one = KernelLaunch(1, 1, lambda cta: records, "k1")
+        many = KernelLaunch(16, 1, lambda cta: records, "k16")
+        t1 = SimulationEngine(build_system(tiny_config())).run(ExplicitWorkload([one])).cycles
+        t16 = SimulationEngine(build_system(tiny_config())).run(ExplicitWorkload([many])).cycles
+        assert t16 < t1 * 3
+
+
+class TestSimulatorFacade:
+    def test_simulate_by_workload(self):
+        result = simulate(SyntheticWorkload(tiny_spec()), tiny_config())
+        assert result.workload_name == "tiny"
+        assert result.system_name.startswith("mcm-baseline")
+
+    def test_simulate_by_suite_name(self):
+        from repro.workloads.suite import spec_by_name
+
+        small = spec_by_name("CFD").scaled_down(0.02)
+        result = simulate(SyntheticWorkload(small), tiny_config())
+        assert result.workload_name == "CFD"
+
+    def test_simulator_runs_are_independent(self):
+        simulator = Simulator(tiny_config())
+        workload = SyntheticWorkload(tiny_spec())
+        first = simulator.run(workload)
+        second = simulator.run(workload)
+        assert first.cycles == second.cycles
+        assert first.dram_bytes_read == second.dram_bytes_read

@@ -1,0 +1,61 @@
+"""Smoke tests: every example script runs end-to-end.
+
+The examples use the suite workloads at full size, which is benchmark-scale
+work, so each script is executed with a private fast cache and — where the
+script supports it — its fast mode.  The goal is import-and-run coverage,
+not timing.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+SCRIPTS_DIR = Path(__file__).resolve().parents[1] / "scripts"
+
+
+def run_script(path, args, tmp_path, timeout=600):
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = str(tmp_path)
+    return subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, tmp_path):
+        result = run_script(EXAMPLES_DIR / "quickstart.py", ["CFD"], tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "speedup" in result.stdout
+        assert "inter-GPM bandwidth" in result.stdout
+
+    def test_locality_optimizations(self, tmp_path):
+        result = run_script(
+            EXAMPLES_DIR / "locality_optimizations.py", ["SSSP"], tmp_path
+        )
+        assert result.returncode == 0, result.stderr
+        assert "first touch" in result.stdout
+
+    def test_run_experiment_lists(self, tmp_path):
+        result = run_script(SCRIPTS_DIR / "run_experiment.py", [], tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "fig4" in result.stdout
+        assert "table3" in result.stdout
+
+    def test_run_experiment_static_table(self, tmp_path):
+        result = run_script(SCRIPTS_DIR / "run_experiment.py", ["table1"], tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "Pascal" in result.stdout
+
+    def test_run_experiment_rejects_unknown(self, tmp_path):
+        result = run_script(SCRIPTS_DIR / "run_experiment.py", ["fig99"], tmp_path)
+        assert result.returncode == 1
+        assert "unknown" in result.stderr

@@ -1,0 +1,159 @@
+"""Unit tests for the figure-experiment modules.
+
+Simulating the full suite is benchmark territory; here the experiment
+logic (aggregation, variant selection, report rendering) is tested against
+stubbed suite results, so these tests run in milliseconds.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig2_scaling,
+    fig4_bandwidth,
+    fig6_l15,
+    fig13_ft,
+    fig15_scurve,
+    fig16_breakdown,
+    fig17_multigpu,
+)
+from repro.experiments import traffic_common
+from repro.memory.cache import CacheStats
+from repro.sim.result import SimResult
+from repro.workloads.suite import all_specs
+
+
+def stub_result(name, cycles, link_bytes=10_000):
+    return SimResult(
+        workload_name=name,
+        system_name="stub",
+        cycles=cycles,
+        kernels=1,
+        ctas=1,
+        records=1,
+        loads=1,
+        stores=0,
+        remote_loads=0,
+        remote_stores=0,
+        l1=CacheStats(),
+        l15=CacheStats(),
+        l2=CacheStats(),
+        dram_bytes_read=0,
+        dram_bytes_written=0,
+        link_bytes=link_bytes,
+        page_local=0,
+        page_remote=0,
+    )
+
+
+def stub_suite(cycles_by_config):
+    """Build a run_suite replacement keyed by config name."""
+
+    def fake_run_suite(config, workloads=None, cache=None):
+        factor = cycles_by_config(config)
+        return {
+            spec.name: stub_result(spec.name, 1000.0 * factor, link_bytes=int(10_000 * factor))
+            for spec in all_specs()
+        }
+
+    return fake_run_suite
+
+
+class TestFig2Logic:
+    def test_requires_reference_point(self):
+        with pytest.raises(ValueError, match="32-SM reference"):
+            fig2_scaling.run_fig2(sm_counts=(64, 128))
+
+    def test_scaling_points(self, monkeypatch):
+        def cycles(config):
+            return 32.0 / config.total_sms  # perfect linear scaling
+
+        monkeypatch.setattr(fig2_scaling, "run_suite", stub_suite(cycles))
+        points = fig2_scaling.run_fig2(sm_counts=(32, 64, 128))
+        assert points[0].high_parallelism == pytest.approx(1.0)
+        assert points[2].high_parallelism == pytest.approx(4.0)
+        assert points[2].efficiency == pytest.approx(1.0)
+        assert "Figure 2" in fig2_scaling.report(points)
+
+
+class TestFig4Logic:
+    def test_relative_to_first_setting(self, monkeypatch):
+        def cycles(config):
+            return 6144.0 / config.link_bandwidth  # slower at lower settings
+
+        monkeypatch.setattr(fig4_bandwidth, "run_suite", stub_suite(cycles))
+        points = fig4_bandwidth.run_fig4((6144.0, 768.0))
+        assert points[0].m_intensive == pytest.approx(1.0)
+        assert points[1].m_intensive == pytest.approx(768.0 / 6144.0)
+        assert "Figure 4" in fig4_bandwidth.report(points)
+
+    def test_rejects_empty_sweep(self):
+        with pytest.raises(ValueError, match="at least one"):
+            fig4_bandwidth.run_fig4(())
+
+
+class TestFig6Logic:
+    def test_best_iso_transistor_prefers_higher_m_geomean(self, monkeypatch):
+        def cycles(config):
+            if config.total_l15_bytes == 0:
+                return 1.0  # baseline
+            # 16 MB variants twice as fast as 8 MB variants.
+            return 0.5 if config.total_l15_bytes > 300_000 else 0.9
+
+        monkeypatch.setattr(fig6_l15, "run_suite", stub_suite(cycles))
+        variants = fig6_l15.run_fig6(((8, True), (16, True)))
+        best = fig6_l15.best_iso_transistor(variants)
+        assert best.capacity_mb == 16
+        assert "Figure 6" in fig6_l15.report(variants)
+
+    def test_best_iso_transistor_rejects_empty(self):
+        with pytest.raises(ValueError, match="no iso-transistor"):
+            fig6_l15.best_iso_transistor([])
+
+
+class TestFig13Logic:
+    def test_two_variants(self, monkeypatch):
+        monkeypatch.setattr(fig13_ft, "run_suite", stub_suite(lambda config: 1.0))
+        variants = fig13_ft.run_fig13()
+        assert set(variants) == {8, 16}
+        assert "Figure 13" in fig13_ft.report(variants)
+
+
+class TestTrafficComparisonLogic:
+    def test_reduction_factor_first_vs_last(self):
+        first = {spec.name: stub_result(spec.name, 1000.0, 10_000) for spec in all_specs()}
+        last = {spec.name: stub_result(spec.name, 1000.0, 2_000) for spec in all_specs()}
+        comparison = traffic_common.build_comparison("T", [("a", first), ("b", last)])
+        assert comparison.reduction_factor == pytest.approx(5.0)
+        assert "5.0" in traffic_common.report(comparison)
+
+    def test_needs_two_configs(self):
+        with pytest.raises(ValueError, match="at least two"):
+            traffic_common.build_comparison("T", [("only", {})])
+
+
+class TestFig15Logic:
+    def test_counts_and_extremes(self):
+        per_workload = {f"w{i}": 1.0 + i / 10.0 for i in range(10)}
+        per_workload["loser"] = 0.5
+        scurve = fig15_scurve.SCurve(per_workload=per_workload)
+        assert scurve.degraded == 1
+        assert scurve.improved == 9  # w0 is exactly 1.0
+        assert scurve.curve[0] == 0.5
+        extremes = scurve.extremes(2)
+        assert "loser" in extremes
+
+
+class TestFig16Logic:
+    def test_gap_to_monolithic(self):
+        breakdown = fig16_breakdown.Breakdown(
+            speedups={"optimized": 1.2, "monolithic-256": 1.32}
+        )
+        assert breakdown.gap_to_monolithic() == pytest.approx(1.1)
+
+
+class TestFig17Logic:
+    def test_headline_ratio(self):
+        comparison = fig17_multigpu.MultiGPUComparison(
+            speedups={"multi-gpu-optimized": 1.25, "mcm-optimized": 1.52}
+        )
+        assert comparison.mcm_over_optimized_multi_gpu() == pytest.approx(1.216)

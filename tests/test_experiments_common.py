@@ -1,0 +1,99 @@
+"""Unit tests for the experiment runner and result cache."""
+
+import json
+
+import pytest
+
+from repro.core.presets import baseline_mcm_gpu
+from repro.experiments.common import (
+    ResultCache,
+    filter_names,
+    names_in_category,
+    run_one,
+    run_suite,
+)
+from repro.workloads.synthetic import Category, SyntheticWorkload, WorkloadSpec
+
+
+def tiny_workload(name="cache-wl"):
+    return SyntheticWorkload(
+        WorkloadSpec(
+            name=name,
+            category=Category.M_INTENSIVE,
+            pattern="streaming",
+            n_ctas=16,
+            groups_per_cta=2,
+            records_per_group=2,
+            accesses_per_record=2,
+            kernel_iterations=1,
+            footprint_bytes=256 * 1024,
+        )
+    )
+
+
+def tiny_config():
+    return baseline_mcm_gpu(n_gpms=4, sms_per_gpm=2)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        workload = tiny_workload()
+        config = tiny_config()
+        first = run_one(workload, config, cache)
+        assert cache.misses == 1
+        second = run_one(workload, config, cache)
+        assert cache.hits == 1
+        assert second == first
+
+    def test_persists_across_instances(self, tmp_path):
+        workload = tiny_workload()
+        config = tiny_config()
+        run_one(workload, config, ResultCache(tmp_path))
+        fresh = ResultCache(tmp_path)
+        cached = fresh.get(workload.digest(), config.digest())
+        assert cached is not None
+        assert cached.workload_name == "cache-wl"
+
+    def test_distinguishes_configs(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        workload = tiny_workload()
+        run_one(workload, tiny_config(), cache)
+        other = baseline_mcm_gpu(n_gpms=4, sms_per_gpm=2, link_bandwidth=384.0)
+        assert cache.get(workload.digest(), other.digest()) is None
+
+    def test_tolerates_corrupt_lines(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_one(tiny_workload(), tiny_config(), cache)
+        with open(cache.path, "a") as handle:
+            handle.write("not json\n")
+            handle.write(json.dumps({"unrelated": 1}) + "\n")
+        fresh = ResultCache(tmp_path)
+        assert len(fresh) == 1
+
+    def test_no_cache_mode(self):
+        result = run_one(tiny_workload(), tiny_config(), cache=None)
+        assert result.ctas == 16
+
+
+class TestRunSuite:
+    def test_run_suite_with_custom_workloads(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        workloads = [tiny_workload("w1"), tiny_workload("w2")]
+        results = run_suite(tiny_config(), workloads, cache)
+        assert set(results) == {"w1", "w2"}
+        # Second call is fully cached.
+        again = run_suite(tiny_config(), workloads, cache)
+        assert cache.hits == 2
+        assert again["w1"] == results["w1"]
+
+
+class TestHelpers:
+    def test_names_in_category_counts(self):
+        assert len(names_in_category(Category.M_INTENSIVE)) == 17
+        assert len(names_in_category(Category.C_INTENSIVE)) == 16
+        assert len(names_in_category(Category.LIMITED_PARALLELISM)) == 15
+
+    def test_filter_names(self):
+        results = {"a": 1, "b": 2, "c": 3}
+        assert filter_names(results, ["c", "a", "zzz"]) == {"c": 3, "a": 1}

@@ -1,0 +1,127 @@
+"""Unit tests for the extension-study experiment modules (stubbed runs)."""
+
+import pytest
+
+from repro.experiments import (
+    ablation_page_size,
+    ablation_scheduler,
+    gpm_scaling,
+    topology_study,
+)
+from repro.memory.cache import CacheStats
+from repro.sim.result import SimResult
+from repro.workloads.suite import all_specs
+
+
+def stub_result(name, cycles, remote=0.2):
+    total = 1000
+    remote_count = int(total * remote)
+    return SimResult(
+        workload_name=name,
+        system_name="stub",
+        cycles=cycles,
+        kernels=1,
+        ctas=1,
+        records=1,
+        loads=total,
+        stores=0,
+        remote_loads=remote_count,
+        remote_stores=0,
+        l1=CacheStats(),
+        l15=CacheStats(),
+        l2=CacheStats(),
+        dram_bytes_read=0,
+        dram_bytes_written=0,
+        link_bytes=100,
+        page_local=total - remote_count,
+        page_remote=remote_count,
+    )
+
+
+def stub_run_suite(cycle_fn):
+    def fake(config, workloads=None, cache=None):
+        return {spec.name: stub_result(spec.name, cycle_fn(config)) for spec in all_specs()}
+
+    return fake
+
+
+class TestTopologyStudy:
+    def test_speedup_direction(self, monkeypatch):
+        def cycles(config):
+            return 800.0 if config.topology == "fully_connected" else 1000.0
+
+        monkeypatch.setattr(topology_study, "run_suite", stub_run_suite(cycles))
+        points = topology_study.run_topology_study()
+        assert points["baseline"].overall == pytest.approx(1.25)
+        assert points["optimized"].overall == pytest.approx(1.25)
+        assert "Topology" in topology_study.report(points)
+
+    def test_iso_budget_bandwidth_used(self, monkeypatch):
+        seen = []
+
+        def cycles(config):
+            seen.append((config.topology, config.link_bandwidth))
+            return 1000.0
+
+        monkeypatch.setattr(topology_study, "run_suite", stub_run_suite(cycles))
+        topology_study.run_topology_study(link_setting=768.0)
+        fc_settings = {bw for topo, bw in seen if topo == "fully_connected"}
+        assert len(fc_settings) == 1
+        assert fc_settings.pop() == pytest.approx(512.0)
+
+
+class TestGPMScaling:
+    def test_reference_point_is_unity(self, monkeypatch):
+        monkeypatch.setattr(gpm_scaling, "run_suite", stub_run_suite(lambda config: 100.0))
+        points = gpm_scaling.run_gpm_scaling((2, 4, 8))
+        by_count = {p.n_gpms: p for p in points}
+        assert by_count[4].baseline_speedup == pytest.approx(1.0)
+        assert by_count[4].sms_per_gpm == 64
+        assert by_count[8].sms_per_gpm == 32
+
+    def test_resources_held_constant(self):
+        config = gpm_scaling._scaled_config(
+            __import__("repro.core.presets", fromlist=["baseline_mcm_gpu"]).baseline_mcm_gpu(),
+            8,
+            "test-8gpm",
+        )
+        assert config.total_sms == 256
+        assert config.total_dram_bandwidth == pytest.approx(3072.0)
+
+    def test_rejects_non_divisor(self, monkeypatch):
+        monkeypatch.setattr(gpm_scaling, "run_suite", stub_run_suite(lambda config: 1.0))
+        with pytest.raises(ValueError, match="divide"):
+            gpm_scaling.run_gpm_scaling((3,))
+
+
+class TestSchedulerAblation:
+    def test_imbalanced_set_nonempty(self):
+        assert len(ablation_scheduler.IMBALANCED) >= 3
+        names = {spec.name for spec in all_specs()}
+        assert set(ablation_scheduler.IMBALANCED) <= names
+
+    def test_speedups_computed(self, monkeypatch):
+        def cycles(config):
+            return {"centralized": 1000.0, "distributed": 800.0, "dynamic": 750.0}[
+                config.scheduler
+            ]
+
+        monkeypatch.setattr(ablation_scheduler, "run_suite", stub_run_suite(cycles))
+        ablation = ablation_scheduler.run_scheduler_ablation()
+        assert ablation.overall["distributed"] == pytest.approx(1.25)
+        assert ablation.overall["dynamic"] == pytest.approx(1000 / 750)
+        assert "Scheduler" in ablation_scheduler.report(ablation)
+
+
+class TestPageSizeAblation:
+    def test_reference_and_locality(self, monkeypatch):
+        def cycles(config):
+            return 1000.0 if config.page_bytes == 2048 else 1100.0
+
+        monkeypatch.setattr(ablation_page_size, "run_suite", stub_run_suite(cycles))
+        points = ablation_page_size.run_page_size_ablation((1024, 2048))
+        by_size = {p.page_bytes: p for p in points}
+        assert by_size[2048].speedup == pytest.approx(1.0)
+        assert by_size[1024].speedup == pytest.approx(1000 / 1100)
+        assert by_size[2048].mean_locality == pytest.approx(0.8)
+        assert "Page-size" in ablation_page_size.report(points)

@@ -1,0 +1,164 @@
+"""Unit and property tests for links, the ring network, and the crossbar."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interconnect.board import make_board_interconnect
+from repro.interconnect.crossbar import GPMCrossbar
+from repro.interconnect.link import REQUEST, RESPONSE, Link
+from repro.interconnect.ring import RingNetwork
+
+
+class TestLink:
+    def test_traverse_adds_latency(self):
+        link = Link(128.0, latency_cycles=32.0)
+        arrival = link.traverse(0.0, 128)
+        assert arrival == pytest.approx(33.0)
+
+    def test_channels_are_independent(self):
+        link = Link(1.0, latency_cycles=0.0)
+        link.traverse(0.0, 1000, REQUEST)
+        prompt = link.traverse(0.0, 1, RESPONSE)
+        assert prompt < 100.0  # response channel unaffected by request backlog
+
+    def test_bytes_sum_channels(self):
+        link = Link(128.0)
+        link.traverse(0.0, 100, REQUEST)
+        link.traverse(0.0, 50, RESPONSE)
+        assert link.bytes_transferred == 150
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError, match="latency"):
+            Link(100.0, latency_cycles=-5)
+
+
+class TestRingTopology:
+    def test_single_node_ring_has_no_links(self):
+        ring = RingNetwork(1, 768.0)
+        assert ring.links == []
+        assert ring.transfer(5.0, 0, 0, 128) == 5.0
+        assert ring.total_link_bytes == 0
+
+    def test_hop_counts_4_nodes(self):
+        ring = RingNetwork(4, 768.0)
+        assert ring.hops_between(0, 0) == 0
+        assert ring.hops_between(0, 1) == 1
+        assert ring.hops_between(0, 2) == 2
+        assert ring.hops_between(0, 3) == 1
+        assert ring.hops_between(3, 0) == 1
+
+    def test_average_hops_uniform_4_nodes(self):
+        ring = RingNetwork(4, 768.0)
+        assert ring.average_hops_uniform() == pytest.approx(4.0 / 3.0)
+
+    def test_route_lengths_match_hops(self):
+        ring = RingNetwork(6, 768.0)
+        for src in range(6):
+            for dst in range(6):
+                assert len(ring.route(src, dst)) == ring.hops_between(src, dst)
+
+    def test_rejects_out_of_range_nodes(self):
+        ring = RingNetwork(4, 768.0)
+        with pytest.raises(ValueError, match="out of range"):
+            ring.hops_between(0, 4)
+
+
+class TestRingTiming:
+    def test_per_direction_bandwidth_is_half_link_setting(self):
+        ring = RingNetwork(4, 768.0)
+        assert ring.links[0].request_pipe.bytes_per_cycle == pytest.approx(384.0)
+
+    def test_transfer_charges_every_hop(self):
+        ring = RingNetwork(4, 768.0, hop_latency_cycles=32.0)
+        arrival = ring.transfer(0.0, 0, 2, 128)
+        # Two hops: 2 x (serialization + 32)
+        assert arrival >= 64.0
+        assert ring.total_link_bytes == 256  # 128 bytes on each of 2 links
+
+    def test_same_node_transfer_free(self):
+        ring = RingNetwork(4, 768.0)
+        assert ring.transfer(7.0, 2, 2, 4096) == 7.0
+
+    def test_reset_clears_traffic(self):
+        ring = RingNetwork(4, 768.0)
+        ring.transfer(0.0, 0, 1, 128)
+        ring.reset()
+        assert ring.total_link_bytes == 0
+
+
+class TestCrossbar:
+    def test_classify_counts(self):
+        xbar = GPMCrossbar(gpm_id=1)
+        assert xbar.classify(1) is True
+        assert xbar.classify(0) is False
+        assert xbar.classify(2) is False
+        assert xbar.local_requests == 1
+        assert xbar.remote_requests == 2
+        assert xbar.locality_fraction == pytest.approx(1 / 3)
+
+    def test_empty_locality_fraction(self):
+        assert GPMCrossbar(0).locality_fraction == 0.0
+
+    def test_reset(self):
+        xbar = GPMCrossbar(0)
+        xbar.classify(0)
+        xbar.reset()
+        assert xbar.total_requests == 0
+
+
+class TestBoard:
+    def test_board_is_two_node_ring(self):
+        board = make_board_interconnect()
+        assert board.n_nodes == 2
+        assert board.hops_between(0, 1) == 1
+
+    def test_board_bandwidth_split(self):
+        board = make_board_interconnect(aggregate_gbps=256.0)
+        assert board.links[0].request_pipe.bytes_per_cycle == pytest.approx(128.0)
+
+    def test_board_rejects_single_gpu(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            make_board_interconnect(n_gpus=1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n_nodes=st.integers(min_value=2, max_value=8),
+    src=st.integers(min_value=0, max_value=7),
+    dst=st.integers(min_value=0, max_value=7),
+)
+def test_hops_symmetric_and_bounded(n_nodes, src, dst):
+    """Property: ring hops are symmetric and at most floor(n/2)."""
+    src %= n_nodes
+    dst %= n_nodes
+    ring = RingNetwork(n_nodes, 768.0)
+    hops = ring.hops_between(src, dst)
+    assert hops == ring.hops_between(dst, src)
+    assert hops <= n_nodes // 2
+    assert (hops == 0) == (src == dst)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_nodes=st.integers(min_value=2, max_value=6),
+    transfers=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),
+            st.integers(min_value=0, max_value=5),
+            st.integers(min_value=1, max_value=512),
+        ),
+        min_size=1,
+        max_size=50,
+    ),
+)
+def test_ring_accounting_matches_hops(n_nodes, transfers):
+    """Property: total link bytes == sum(bytes * hops) over all transfers."""
+    ring = RingNetwork(n_nodes, 768.0)
+    expected = 0
+    for src, dst, size in transfers:
+        src %= n_nodes
+        dst %= n_nodes
+        ring.transfer(0.0, src, dst, size)
+        expected += size * ring.hops_between(src, dst)
+    assert ring.total_link_bytes == expected

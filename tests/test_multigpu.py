@@ -1,0 +1,85 @@
+"""Unit tests for the multi-GPU study helpers."""
+
+import pytest
+
+from repro.memory.cache import CacheStats
+from repro.multigpu.system import (
+    aggregate_energy_advantage,
+    compare_efficiency,
+    comparison_systems,
+    systems_are_equally_equipped,
+)
+from repro.sim.result import SimResult
+
+
+def result(name, cycles, link_bytes, tier):
+    return SimResult(
+        workload_name=name,
+        system_name="sys",
+        cycles=cycles,
+        kernels=1,
+        ctas=1,
+        records=1,
+        loads=1,
+        stores=0,
+        remote_loads=0,
+        remote_stores=0,
+        l1=CacheStats(),
+        l15=CacheStats(),
+        l2=CacheStats(),
+        dram_bytes_read=0,
+        dram_bytes_written=0,
+        link_bytes=link_bytes,
+        page_local=0,
+        page_remote=0,
+        link_tier=tier,
+    )
+
+
+class TestComparisonSystems:
+    def test_five_machines(self):
+        labels = [label for label, _ in comparison_systems()]
+        assert labels == [
+            "multi-gpu-baseline",
+            "multi-gpu-optimized",
+            "mcm-optimized",
+            "mcm-6tbs",
+            "monolithic-256",
+        ]
+
+    def test_equally_equipped(self):
+        """Section 6: same SM count and DRAM bandwidth everywhere."""
+        assert systems_are_equally_equipped()
+
+
+class TestEfficiency:
+    def test_energy_advantage_reflects_tier_cost(self):
+        mcm = result("wl", 100.0, 1000, "package")
+        multi = result("wl", 150.0, 1000, "board")
+        comparison = compare_efficiency(mcm, multi)
+        # Same bytes, but board links cost 20x per bit (Table 2).
+        assert comparison.energy_advantage == pytest.approx(20.0)
+        assert comparison.speedup == pytest.approx(1.5)
+
+    def test_rejects_workload_mismatch(self):
+        with pytest.raises(ValueError, match="different workloads"):
+            compare_efficiency(
+                result("a", 1.0, 1, "package"), result("b", 1.0, 1, "board")
+            )
+
+    def test_rejects_swapped_tiers(self):
+        with pytest.raises(ValueError, match="package-integrated"):
+            compare_efficiency(
+                result("a", 1.0, 1, "board"), result("a", 1.0, 1, "board")
+            )
+
+    def test_aggregate_energy_advantage(self):
+        mcm = {"a": result("a", 1.0, 1000, "package")}
+        multi = {"a": result("a", 1.0, 500, "board")}
+        # 500 board bytes at 10 pJ/b vs 1000 package bytes at 0.5 pJ/b -> 10x.
+        assert aggregate_energy_advantage(mcm, multi) == pytest.approx(10.0)
+
+    def test_zero_mcm_traffic_is_infinite_advantage(self):
+        mcm = {"a": result("a", 1.0, 0, "package")}
+        multi = {"a": result("a", 1.0, 500, "board")}
+        assert aggregate_energy_advantage(mcm, multi) == float("inf")

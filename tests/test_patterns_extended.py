@@ -1,0 +1,148 @@
+"""Unit and property tests for the banded, global-stride and biased
+irregular patterns (added for Sections 5.2/5.3 fidelity)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.patterns import (
+    BandedPattern,
+    GlobalStridePattern,
+    IrregularPattern,
+    make_pattern,
+)
+from repro.workloads.rng import rng_for
+
+
+def gen(pattern, cta=0, n_ctas=256, n_accesses=512, footprint=8192, seed=("x",)):
+    return pattern.generate(cta, n_ctas, n_accesses, footprint, rng_for(*seed, cta))
+
+
+class TestBanded:
+    def test_band_membership(self):
+        pattern = BandedPattern(band_width_ctas=64)
+        assert pattern.band_of_cta(0) == 0
+        assert pattern.band_of_cta(63) == 0
+        assert pattern.band_of_cta(64) == 1
+
+    def test_band_accesses_stay_in_own_band(self):
+        pattern = BandedPattern(band_fraction=0.5, band_width_ctas=64, band_lines=128)
+        n_ctas, footprint = 256, 8192
+        n_bands, band_lines, band_region = pattern._layout(n_ctas, footprint)
+        assert n_bands == 4
+        for cta in (0, 100, 255):
+            addrs = gen(pattern, cta=cta, n_ctas=n_ctas, footprint=footprint)
+            band = pattern.band_of_cta(cta)
+            in_band = addrs[addrs < band_region]
+            assert len(in_band) > 0
+            assert in_band.min() >= band * band_lines
+            assert in_band.max() < (band + 1) * band_lines
+
+    def test_private_accesses_disjoint_between_ctas(self):
+        pattern = BandedPattern(band_fraction=0.3, band_width_ctas=64, band_lines=64)
+        _, _, band_region = pattern._layout(256, 8192)
+        a = set(int(x) for x in gen(pattern, cta=10) if x >= band_region)
+        b = set(int(x) for x in gen(pattern, cta=200) if x >= band_region)
+        assert not (a & b)
+
+    def test_band_skew_concentrates_front(self):
+        flat = BandedPattern(band_fraction=0.9, band_lines=512, band_skew=1.0)
+        skewed = BandedPattern(band_fraction=0.9, band_lines=512, band_skew=3.0)
+        _, lines, region = skewed._layout(256, 65536)
+        a = gen(flat, n_accesses=4000, footprint=65536)
+        b = gen(skewed, n_accesses=4000, footprint=65536)
+        front = lines // 4
+        assert (b[b < region] < front).mean() > (a[a < region] < front).mean()
+
+    def test_small_footprint_caps_band(self):
+        pattern = BandedPattern(band_lines=100000)
+        addrs = gen(pattern, footprint=1024)
+        assert addrs.max() < 1024
+
+    def test_deterministic_across_kernels(self):
+        pattern = BandedPattern()
+        assert not pattern.kernel_variant
+        assert np.array_equal(gen(pattern, cta=5), gen(pattern, cta=5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="band_fraction"):
+            BandedPattern(band_fraction=1.0)
+        with pytest.raises(ValueError, match="band_width"):
+            BandedPattern(band_width_ctas=0)
+        with pytest.raises(ValueError, match="band_lines"):
+            BandedPattern(band_lines=0)
+        with pytest.raises(ValueError, match="band_skew"):
+            BandedPattern(band_skew=0.5)
+
+
+class TestGlobalStride:
+    def test_no_line_is_shared_between_ctas(self):
+        pattern = GlobalStridePattern()
+        n_ctas = 157
+        a = set(int(x) for x in gen(pattern, cta=3, n_ctas=n_ctas, footprint=100000))
+        b = set(int(x) for x in gen(pattern, cta=4, n_ctas=n_ctas, footprint=100000))
+        assert not (a & b)
+
+    def test_pages_are_shared_between_ctas(self):
+        """The property that defeats first-touch: many CTAs per page."""
+        pattern = GlobalStridePattern()
+        n_ctas, footprint = 157, 100000
+        pages_a = {int(x) // 16 for x in gen(pattern, cta=3, n_ctas=n_ctas, footprint=footprint)}
+        shuffled_neighbors = set()
+        for cta in range(8):
+            shuffled_neighbors |= {
+                int(x) // 16 for x in gen(pattern, cta=cta, n_ctas=n_ctas, footprint=footprint)
+            }
+        assert pages_a & shuffled_neighbors
+
+    def test_shuffle_breaks_index_adjacency(self):
+        plain = GlobalStridePattern(shuffle=False)
+        shuffled = GlobalStridePattern(shuffle=True)
+        n_ctas = 157
+        lane_plain = [int(gen(plain, cta=c, n_ctas=n_ctas, n_accesses=1)[0]) for c in range(4)]
+        lane_shuf = [int(gen(shuffled, cta=c, n_ctas=n_ctas, n_accesses=1)[0]) for c in range(4)]
+        assert lane_plain == [0, 1, 2, 3]
+        diffs = [b - a for a, b in zip(lane_shuf, lane_shuf[1:])]
+        assert any(abs(d) > 1 for d in diffs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="stride_ctas"):
+            GlobalStridePattern(stride_ctas=0)
+
+
+class TestIrregularLocalBias:
+    def test_bias_concentrates_in_own_chunk(self):
+        biased = IrregularPattern(hot_fraction=0.0, local_bias=0.8)
+        n_ctas, footprint = 64, 64000
+        cta = 10
+        addrs = gen(biased, cta=cta, n_ctas=n_ctas, n_accesses=4000, footprint=footprint)
+        chunk = footprint // n_ctas
+        own = ((addrs >= cta * chunk) & (addrs < (cta + 1) * chunk)).mean()
+        assert own > 0.6
+
+    def test_zero_bias_is_uniform(self):
+        uniform = IrregularPattern(hot_fraction=0.0, local_bias=0.0)
+        addrs = gen(uniform, cta=10, n_ctas=64, n_accesses=4000, footprint=64000)
+        chunk_share = ((addrs >= 10000) & (addrs < 11000)).mean()
+        assert chunk_share < 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="local_bias"):
+            IrregularPattern(local_bias=1.5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    name=st.sampled_from(["banded", "global_stride"]),
+    cta=st.integers(min_value=0, max_value=63),
+    n_accesses=st.integers(min_value=1, max_value=300),
+    footprint=st.integers(min_value=512, max_value=16384),
+)
+def test_new_patterns_produce_valid_addresses(name, cta, n_accesses, footprint):
+    """Property: new patterns also yield n in-footprint line addresses."""
+    pattern = make_pattern(name)
+    addrs = pattern.generate(cta, 64, n_accesses, footprint, rng_for(name, cta))
+    assert len(addrs) == n_accesses
+    assert addrs.min() >= 0
+    assert addrs.max() < footprint

@@ -1,0 +1,107 @@
+"""Unit tests for the 48-benchmark suite definition."""
+
+import pytest
+
+from repro.workloads.suite import (
+    MAX_FOOTPRINT_BYTES,
+    MIN_FOOTPRINT_BYTES,
+    all_specs,
+    c_intensive_specs,
+    limited_parallelism_specs,
+    m_intensive_specs,
+    make_workload,
+    scaled_footprint,
+    spec_by_name,
+    specs_by_category,
+    suite_workloads,
+)
+from repro.workloads.synthetic import Category
+
+TABLE4_NAMES = [
+    "AMG", "NN-Conv", "BFS", "CFD", "CoMD", "Kmeans", "Lulesh1", "Lulesh2",
+    "Lulesh3", "MiniAMR", "MnCtct", "MST", "Nekbone1", "Nekbone2",
+    "Srad-v2", "SSSP", "Stream",
+]
+
+
+class TestComposition:
+    def test_paper_counts(self):
+        """Section 4: 48 workloads = 17 M + 16 C + 15 limited."""
+        assert len(m_intensive_specs()) == 17
+        assert len(c_intensive_specs()) == 16
+        assert len(limited_parallelism_specs()) == 15
+        assert len(all_specs()) == 48
+
+    def test_names_unique(self):
+        names = [spec.name for spec in all_specs()]
+        assert len(set(names)) == len(names)
+
+    def test_table4_names_present_in_order(self):
+        assert [spec.name for spec in m_intensive_specs()] == TABLE4_NAMES
+
+    def test_categories_consistent(self):
+        grouped = specs_by_category()
+        for category, specs in grouped.items():
+            assert all(spec.category == category for spec in specs)
+
+    def test_paper_footprints_recorded(self):
+        for spec in m_intensive_specs():
+            assert spec.paper_footprint_mb is not None
+        assert spec_by_name("Stream").paper_footprint_mb == 3072
+
+
+class TestParallelism:
+    def test_high_parallelism_fills_256_sm_gpu(self):
+        """High-parallelism specs must oversubscribe 256 SMs x 4 CTA slots."""
+        for spec in m_intensive_specs() + c_intensive_specs():
+            assert spec.n_ctas >= 1024, spec.name
+
+    def test_limited_parallelism_cannot_fill(self):
+        for spec in limited_parallelism_specs():
+            assert spec.n_ctas < 512, spec.name
+
+
+class TestFootprints:
+    def test_scaled_footprint_clamps(self):
+        assert scaled_footprint(0.001) == MIN_FOOTPRINT_BYTES
+        assert scaled_footprint(1e6) == MAX_FOOTPRINT_BYTES
+        assert MIN_FOOTPRINT_BYTES < scaled_footprint(96) < MAX_FOOTPRINT_BYTES
+
+    def test_all_footprints_within_bounds(self):
+        for spec in all_specs():
+            assert MIN_FOOTPRINT_BYTES <= spec.footprint_bytes <= MAX_FOOTPRINT_BYTES
+
+
+class TestLookup:
+    def test_spec_by_name(self):
+        assert spec_by_name("CFD").category is Category.M_INTENSIVE
+
+    def test_spec_by_name_unknown(self):
+        with pytest.raises(KeyError, match="no workload"):
+            spec_by_name("DOOM")
+
+    def test_make_workload_from_name_and_spec(self):
+        by_name = make_workload("Stream")
+        by_spec = make_workload(spec_by_name("Stream"))
+        assert by_name.digest() == by_spec.digest()
+
+
+class TestSuiteWorkloads:
+    def test_category_filter(self):
+        limited = suite_workloads(Category.LIMITED_PARALLELISM)
+        assert len(limited) == 15
+        assert all(w.category is Category.LIMITED_PARALLELISM for w in limited)
+
+    def test_fast_factor_shrinks(self):
+        full = suite_workloads()
+        fast = suite_workloads(fast_factor=0.1)
+        assert len(fast) == len(full)
+        for big, small in zip(full, fast):
+            assert small.spec.n_ctas <= big.spec.n_ctas
+
+    def test_every_workload_generates_a_valid_first_kernel(self):
+        for workload in suite_workloads(fast_factor=0.05):
+            kernel = next(iter(workload.kernels()))
+            trace = kernel.trace_fn(0)
+            assert len(trace) == kernel.groups_per_cta
+            assert all(record.n_accesses > 0 for group in trace for record in group)

@@ -1,0 +1,67 @@
+"""Unit tests for trace records and packing helpers."""
+
+import pytest
+
+from repro.workloads.trace import (
+    KernelLaunch,
+    TraceRecord,
+    records_from_arrays,
+    write_period_from_fraction,
+)
+
+
+class TestWritePeriod:
+    def test_zero_fraction(self):
+        assert write_period_from_fraction(0.0) == 0
+
+    def test_common_fractions(self):
+        assert write_period_from_fraction(0.5) == 2
+        assert write_period_from_fraction(0.33) == 3
+        assert write_period_from_fraction(0.25) == 4
+        assert write_period_from_fraction(0.1) == 10
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="write_fraction"):
+            write_period_from_fraction(1.0)
+        with pytest.raises(ValueError, match="write_fraction"):
+            write_period_from_fraction(-0.1)
+
+
+class TestRecordsFromArrays:
+    def test_packs_batches(self):
+        records = records_from_arrays(list(range(10)), 0, 4, 7.0)
+        assert len(records) == 3
+        assert records[0].reads == (0, 1, 2, 3)
+        assert records[2].reads == (8, 9)  # partial tail kept
+        assert all(record.compute_cycles == 7.0 for record in records)
+
+    def test_write_period_marks_stores(self):
+        records = records_from_arrays(list(range(8)), 4, 4, 1.0)
+        # Accesses 4 and 8 (1-indexed) are stores.
+        assert records[0].writes == (3,)
+        assert records[1].writes == (7,)
+        assert records[0].reads == (0, 1, 2)
+
+    def test_all_access_counts_preserved(self):
+        lines = list(range(23))
+        records = records_from_arrays(lines, 3, 5, 0.0)
+        total = sum(record.n_accesses for record in records)
+        assert total == 23
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError, match="accesses_per_record"):
+            records_from_arrays([1], 0, 0, 1.0)
+
+
+class TestTraceRecord:
+    def test_n_accesses(self):
+        record = TraceRecord(1.0, (1, 2), (3,))
+        assert record.n_accesses == 3
+
+
+class TestKernelLaunch:
+    def test_validates_sizes(self):
+        with pytest.raises(ValueError, match="n_ctas"):
+            KernelLaunch(n_ctas=0, groups_per_cta=1, trace_fn=lambda c: [])
+        with pytest.raises(ValueError, match="groups_per_cta"):
+            KernelLaunch(n_ctas=1, groups_per_cta=0, trace_fn=lambda c: [])
