@@ -2,10 +2,13 @@
 """Calibration harness: compares model output against the paper's headlines.
 
 Run while tuning workload/config parameters.  Uses the shared disk cache,
-so unchanged (workload, system) pairs are free on re-run.
+so unchanged (workload, system) pairs are free on re-run.  Each section
+batches all of its configurations through one ``run_suites`` call, so the
+process pool (``REPRO_WORKERS``) overlaps every (workload, config) pair.
 
 Usage: python scripts/calibrate.py [section ...]
-Sections: fig4 fig6 fig9 fig13 fig16 mono multi fig2 all (default: fast set)
+Sections: fig4 fig6 fig9 fig13 fig16 mono multi fig2 traffic all
+(default: fast set)
 """
 
 import sys
@@ -19,7 +22,8 @@ from repro.core.presets import (
     multi_gpu,
     optimized_mcm_gpu,
 )
-from repro.experiments.common import filter_names, names_in_category, run_suite
+from repro.experiments.common import filter_names, names_in_category, run_suites
+from repro.parallel import GLOBAL_METRICS
 from repro.workloads.suite import suite_workloads
 from repro.workloads.synthetic import Category
 
@@ -42,62 +46,69 @@ def show(label, cats, paper):
 
 def fig4():
     print("== Fig 4: inter-GPM bandwidth sensitivity (slowdown vs 6TB/s) ==")
-    ref = run_suite(baseline_mcm_gpu(link_bandwidth=6144.0))
-    for bw, paper in ((3072.0, "M~1.00"), (1536.0, "M~0.88"), (768.0, "M~0.60"), (384.0, "M~0.43")):
-        res = run_suite(baseline_mcm_gpu(link_bandwidth=bw))
-        cats = by_cat(res, ref)
-        show(f"link {bw:.0f} GB/s", cats, paper)
+    settings = [(3072.0, "M~1.00"), (1536.0, "M~0.88"), (768.0, "M~0.60"), (384.0, "M~0.43")]
+    ref, *swept = run_suites(
+        [baseline_mcm_gpu(link_bandwidth=6144.0)]
+        + [baseline_mcm_gpu(link_bandwidth=bw) for bw, _ in settings]
+    )
+    for (bw, paper), res in zip(settings, swept):
+        show(f"link {bw:.0f} GB/s", by_cat(res, ref), paper)
 
 
 def fig6():
     print("== Fig 6: L1.5 variants vs baseline (768 GB/s) ==")
-    base = run_suite(baseline_mcm_gpu())
-    for mb, remote, paper in ((8, True, ""), (16, False, "M lower"), (16, True, "M:1.114 C:~1.01 L:1.035"), (32, True, "M:1.183 (non-iso)")):
-        res = run_suite(mcm_gpu_with_l15(l15_total_mb=mb, remote_only=remote))
+    variants = [(8, True, ""), (16, False, "M lower"), (16, True, "M:1.114 C:~1.01 L:1.035"), (32, True, "M:1.183 (non-iso)")]
+    base, *swept = run_suites(
+        [baseline_mcm_gpu()]
+        + [mcm_gpu_with_l15(l15_total_mb=mb, remote_only=remote) for mb, remote, _ in variants]
+    )
+    for (mb, remote, paper), res in zip(variants, swept):
         show(f"L1.5 {mb}MB remote={remote}", by_cat(res, base), paper)
 
 
 def fig9():
     print("== Fig 9: L1.5(16MB,remote) + distributed scheduling vs baseline ==")
-    base = run_suite(baseline_mcm_gpu())
-    res = run_suite(mcm_gpu_with_l15(16, True, scheduler="distributed"))
+    base, res = run_suites(
+        [baseline_mcm_gpu(), mcm_gpu_with_l15(16, True, scheduler="distributed")]
+    )
     show("L1.5+DS", by_cat(res, base), "M:1.234 C:1.019 L:1.052")
 
 
 def fig13():
     print("== Fig 13: L1.5 + DS + FT vs baseline ==")
-    base = run_suite(baseline_mcm_gpu())
-    for mb, paper in ((16, ""), (8, "M:1.51 C:1.113 L:1.079")):
-        res = run_suite(mcm_gpu_with_l15(mb, True, scheduler="distributed", placement="first_touch"))
+    variants = [(16, ""), (8, "M:1.51 C:1.113 L:1.079")]
+    base, *swept = run_suites(
+        [baseline_mcm_gpu()]
+        + [
+            mcm_gpu_with_l15(mb, True, scheduler="distributed", placement="first_touch")
+            for mb, _ in variants
+        ]
+    )
+    for (mb, paper), res in zip(variants, swept):
         show(f"L1.5 {mb}MB +DS+FT", by_cat(res, base), paper)
 
 
 def fig16():
     print("== Fig 16: each optimization alone + combined (geomean over 48) ==")
-    base = run_suite(baseline_mcm_gpu())
+    from dataclasses import replace
+
     combos = [
         ("L1.5 alone", mcm_gpu_with_l15(16, True), "+5.2%"),
-        ("DS alone", baseline_mcm_gpu(name="mcm-ds-only"), "+0.3%"),
-        ("FT alone", baseline_mcm_gpu(name="mcm-ft-only"), "-4.7%"),
+        ("DS alone", replace(baseline_mcm_gpu(name="mcm-ds-only"), scheduler="distributed"), "+0.3%"),
+        ("FT alone", replace(baseline_mcm_gpu(name="mcm-ft-only"), placement="first_touch"), "-4.7%"),
         ("optimized (768)", optimized_mcm_gpu(), "+22.8%"),
         ("MCM 6TB/s", baseline_mcm_gpu(link_bandwidth=6144.0, name="mcm-6tbs"), "~+30%?"),
     ]
-    # DS-only / FT-only need field overrides
-    from dataclasses import replace
-
-    combos[1] = ("DS alone", replace(combos[1][1], scheduler="distributed"), "+0.3%")
-    combos[2] = ("FT alone", replace(combos[2][1], placement="first_touch"), "-4.7%")
-    for label, cfg, paper in combos:
-        res = run_suite(cfg)
+    base, *swept = run_suites([baseline_mcm_gpu()] + [cfg for _, cfg, _ in combos])
+    for (label, _, paper), res in zip(combos, swept):
         show(label, by_cat(res, base), paper)
 
 
 def mono():
     print("== Monolithic comparisons ==")
-    base = run_suite(baseline_mcm_gpu())
-    opt = run_suite(optimized_mcm_gpu())
-    m128 = run_suite(monolithic_gpu(128))
-    m256 = run_suite(monolithic_gpu(256))
+    base, opt, m128, m256 = run_suites(
+        [baseline_mcm_gpu(), optimized_mcm_gpu(), monolithic_gpu(128), monolithic_gpu(256)]
+    )
     print(f"opt vs mono-128: {geomean_speedup(opt, m128):.3f}  (paper 1.455)")
     print(f"mono-256 vs opt: {geomean_speedup(m256, opt):.3f}  (paper ~1.10)")
     print(f"mono-256 vs mono-128: {geomean_speedup(m256, m128):.3f}")
@@ -106,11 +117,15 @@ def mono():
 
 def multi():
     print("== Fig 17: multi-GPU comparisons (vs baseline multi-GPU) ==")
-    mg_base = run_suite(multi_gpu(optimized=False))
-    mg_opt = run_suite(multi_gpu(optimized=True))
-    mcm = run_suite(optimized_mcm_gpu())
-    mcm6 = run_suite(baseline_mcm_gpu(link_bandwidth=6144.0, name="mcm-6tbs"))
-    m256 = run_suite(monolithic_gpu(256))
+    mg_base, mg_opt, mcm, mcm6, m256 = run_suites(
+        [
+            multi_gpu(optimized=False),
+            multi_gpu(optimized=True),
+            optimized_mcm_gpu(),
+            baseline_mcm_gpu(link_bandwidth=6144.0, name="mcm-6tbs"),
+            monolithic_gpu(256),
+        ]
+    )
     print(f"optimized multi-GPU: {geomean_speedup(mg_opt, mg_base):.3f} (paper 1.251)")
     print(f"MCM-GPU 768:        {geomean_speedup(mcm, mg_base):.3f} (paper 1.519)")
     print(f"mono-256:           {geomean_speedup(m256, mg_base):.3f} (paper ~1.66)")
@@ -118,10 +133,10 @@ def multi():
 
 def fig2():
     print("== Fig 2: SM scaling (speedup over 32 SMs, geomean by class) ==")
-    ref = run_suite(monolithic_gpu(32))
+    counts = (64, 128, 256)
+    ref, *swept = run_suites([monolithic_gpu(32)] + [monolithic_gpu(sms) for sms in counts])
     high = M + C
-    for sms in (64, 128, 256):
-        res = run_suite(monolithic_gpu(sms))
+    for sms, res in zip(counts, swept):
         hi = geomean_speedup(filter_names(res, high), filter_names(ref, high))
         lo = geomean_speedup(filter_names(res, L), filter_names(ref, L))
         print(f"{sms:>4} SMs: high={hi:.2f} (linear {sms/32:.0f}) limited={lo:.2f}")
@@ -129,9 +144,9 @@ def fig2():
 
 def traffic():
     print("== Inter-GPM traffic (avg TB/s across M-intensive) ==")
-    base = run_suite(baseline_mcm_gpu())
-    l15 = run_suite(mcm_gpu_with_l15(16, True))
-    opt = run_suite(optimized_mcm_gpu())
+    base, l15, opt = run_suites(
+        [baseline_mcm_gpu(), mcm_gpu_with_l15(16, True), optimized_mcm_gpu()]
+    )
     for label, res, paper in (("baseline", base, "~2+"), ("L1.5", l15, "-17% M"), ("optimized", opt, "5x down")):
         mbw = sum(res[n].inter_gpm_tbps for n in M) / len(M)
         total = sum(r.link_bytes for r in res.values())
@@ -149,6 +164,10 @@ if __name__ == "__main__":
     if args == ["all"]:
         args = list(SECTIONS)
     for name in args:
+        GLOBAL_METRICS.reset()
         t0 = time.time()
         SECTIONS[name]()
+        metrics = GLOBAL_METRICS.report(per_config=False)
+        if metrics != "no suite runs recorded":
+            print(f"[{name} throughput] {metrics}")
         print(f"[{name}: {time.time()-t0:.0f}s]\n")

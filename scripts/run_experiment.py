@@ -2,22 +2,29 @@
 """Run one paper experiment and print its table/series.
 
 Usage:
-    python scripts/run_experiment.py            # list experiments
-    python scripts/run_experiment.py fig4       # run Figure 4
-    python scripts/run_experiment.py all        # run everything (slow)
+    python scripts/run_experiment.py                 # list experiments
+    python scripts/run_experiment.py fig4            # run Figure 4
+    python scripts/run_experiment.py --workers 8 all # run everything (slow)
 
 Results come from the shared disk cache when available, so re-running an
-experiment after a benchmark session is instant.
+experiment after a benchmark session is instant.  Suite runs fan out over
+a process pool sized by ``--workers`` / ``REPRO_WORKERS`` (default: core
+count); each experiment prints its throughput summary (sims/sec, cache
+hit rate, per-config sim time) when it finishes.
 """
 
+import argparse
 import sys
 import time
 
 from repro.experiments import EXPERIMENTS
+from repro.parallel import GLOBAL_METRICS
 
 
 def run(exp_id: str) -> None:
+    """Run one experiment, print its report and throughput summary."""
     module, entry = EXPERIMENTS[exp_id]
+    GLOBAL_METRICS.reset()
     start = time.time()
     result = getattr(module, entry)()
     elapsed = time.time() - start
@@ -27,17 +34,39 @@ def run(exp_id: str) -> None:
     except TypeError:
         text = report()  # static tables take no argument
     print(text)
-    print(f"\n[{exp_id}: {elapsed:.1f}s]\n")
+    metrics = GLOBAL_METRICS.report()
+    if metrics != "no suite runs recorded":
+        print(f"\n[{exp_id} throughput] {metrics}")
+    print(f"[{exp_id}: {elapsed:.1f}s]\n")
 
 
 def main() -> int:
-    args = sys.argv[1:]
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        description="Run paper experiments.", add_help=True
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size for suite runs (overrides REPRO_WORKERS; "
+        "1 forces the serial path)",
+    )
+    parser.add_argument("experiments", nargs="*", metavar="id")
+    opts = parser.parse_args()
+    if opts.workers is not None:
+        import os
+
+        os.environ["REPRO_WORKERS"] = str(opts.workers)
+
+    args = opts.experiments
     if not args:
         print("available experiments:")
         for exp_id, (module, _) in EXPERIMENTS.items():
             summary = (module.__doc__ or "").strip().splitlines()[0]
             print(f"  {exp_id:<8} {summary}")
-        print("\nusage: python scripts/run_experiment.py <id> [<id> ...] | all")
+        print("\nusage: python scripts/run_experiment.py [--workers N] <id> [<id> ...] | all")
         return 0
     if args == ["all"]:
         args = list(EXPERIMENTS)

@@ -28,7 +28,7 @@ from . import (
     table4_workloads,
     topology_study,
 )
-from .common import DEFAULT_CACHE, ResultCache, run_one, run_suite
+from .common import DEFAULT_CACHE, ResultCache, default_cache, run_one, run_suite, run_suites
 
 #: Registry: paper artifact id -> (experiment module, entry point name).
 EXPERIMENTS = {
@@ -58,7 +58,9 @@ EXPERIMENTS = {
 __all__ = [
     "DEFAULT_CACHE",
     "ResultCache",
+    "default_cache",
     "run_one",
     "run_suite",
+    "run_suites",
     "EXPERIMENTS",
 ]

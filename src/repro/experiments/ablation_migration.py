@@ -18,7 +18,7 @@ from ..analysis.report import format_table
 from ..analysis.speedup import geomean_speedup, speedups
 from ..core.presets import optimized_mcm_gpu
 from ..workloads.synthetic import Category
-from .common import filter_names, names_in_category, run_suite
+from .common import filter_names, names_in_category, run_suites
 
 
 @dataclass(frozen=True)
@@ -33,12 +33,11 @@ class MigrationAblation:
 
 def run_migration_ablation() -> MigrationAblation:
     """Compare placements over the full suite."""
-    static = run_suite(optimized_mcm_gpu())
     migrating_cfg = replace(
         optimized_mcm_gpu(name="mcm-optimized-migrating"),
         placement="migrating_first_touch",
     )
-    migrating = run_suite(migrating_cfg)
+    static, migrating = run_suites([optimized_mcm_gpu(), migrating_cfg])
     per_workload = speedups(migrating, static)
     ordered = sorted(per_workload.items(), key=lambda item: item[1])
     per_category = {}

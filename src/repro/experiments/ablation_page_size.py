@@ -16,7 +16,7 @@ from typing import List, Sequence
 from ..analysis.report import format_table
 from ..analysis.speedup import geomean_speedup
 from ..core.presets import optimized_mcm_gpu
-from .common import run_suite
+from .common import run_suites
 
 #: Scaled page sizes; the default 2 KB stands for a 64 KB GPU page.
 DEFAULT_PAGE_SIZES = (512, 1024, 2048, 4096, 8192)
@@ -35,13 +35,13 @@ def run_page_size_ablation(
     page_sizes: Sequence[int] = DEFAULT_PAGE_SIZES,
 ) -> List[PageSizePoint]:
     """Sweep page sizes on the optimized machine."""
-    reference = run_suite(optimized_mcm_gpu())
+    configs = [optimized_mcm_gpu()] + [
+        replace(optimized_mcm_gpu(name=f"opt-page-{page_bytes}"), page_bytes=page_bytes)
+        for page_bytes in page_sizes
+    ]
+    reference, *swept = run_suites(configs)
     points: List[PageSizePoint] = []
-    for page_bytes in page_sizes:
-        config = replace(
-            optimized_mcm_gpu(name=f"opt-page-{page_bytes}"), page_bytes=page_bytes
-        )
-        results = run_suite(config)
+    for page_bytes, results in zip(page_sizes, swept):
         locality = sum(
             1.0 - result.remote_access_fraction for result in results.values()
         ) / len(results)

@@ -22,7 +22,7 @@ from ..analysis.report import format_table
 from ..analysis.speedup import geomean_speedup, speedups
 from ..core.presets import optimized_mcm_gpu
 from ..workloads.suite import all_specs
-from .common import filter_names, run_suite
+from .common import filter_names, run_suites
 
 #: Suite workloads with per-CTA work skew (the distributed scheduler's
 #: weak spot, Section 5.4).
@@ -42,12 +42,17 @@ def run_scheduler_ablation() -> SchedulerAblation:
     base_cfg = replace(
         optimized_mcm_gpu(name="opt-centralized"), scheduler="centralized"
     )
-    baseline = run_suite(base_cfg)
+    schedulers = ("distributed", "dynamic")
+    baseline, *swept = run_suites(
+        [base_cfg]
+        + [
+            replace(optimized_mcm_gpu(name=f"opt-{scheduler}"), scheduler=scheduler)
+            for scheduler in schedulers
+        ]
+    )
     overall: Dict[str, float] = {}
     imbalanced: Dict[str, float] = {}
-    for scheduler in ("distributed", "dynamic"):
-        config = replace(optimized_mcm_gpu(name=f"opt-{scheduler}"), scheduler=scheduler)
-        results = run_suite(config)
+    for scheduler, results in zip(schedulers, swept):
         overall[scheduler] = geomean_speedup(results, baseline)
         imbalanced[scheduler] = geomean_speedup(
             filter_names(results, IMBALANCED), filter_names(baseline, IMBALANCED)

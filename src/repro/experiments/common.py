@@ -6,14 +6,30 @@ results are cached on disk keyed by ``(workload digest, system digest)``;
 re-running a bench (or several benches that share the baseline) costs only
 the first run.  Set the ``REPRO_CACHE_DIR`` environment variable to move
 the cache, or ``REPRO_NO_CACHE=1`` to disable it.
+
+Suite runs fan out over a process pool when more than one worker is
+available (``REPRO_WORKERS``, defaulting to the machine's core count; see
+:mod:`repro.parallel`).  ``REPRO_WORKERS=1`` forces the classic serial
+path, which is useful when bisecting determinism issues.  The cache file
+format is concurrency-safe: every entry is appended as a single
+``O_APPEND`` write under an advisory lock, and loads merge every
+``results*.jsonl`` shard in the cache directory, tolerating duplicate and
+truncated lines — so any number of processes may share one cache
+directory.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+try:  # advisory file locking; absent on some exotic platforms
+    import fcntl
+except ImportError:  # pragma: no cover - POSIX always has fcntl
+    fcntl = None  # type: ignore[assignment]
 
 from ..core.config import SystemConfig
 from ..sim.result import SimResult
@@ -31,11 +47,28 @@ def _default_cache_dir() -> Path:
 
 
 class ResultCache:
-    """Append-only JSONL cache of simulation results."""
+    """Append-only JSONL cache of simulation results.
 
-    def __init__(self, directory: Optional[Path] = None) -> None:
-        self.directory = directory or _default_cache_dir()
-        self.path = self.directory / "results.jsonl"
+    Safe for concurrent writers: entries are appended as single
+    ``O_APPEND`` writes (additionally serialized by an advisory ``flock``
+    where available), so lines from different processes never interleave.
+    A cache may also be opened with a ``shard`` suffix, giving each writer
+    its own ``results-<shard>.jsonl`` file; :meth:`_load` merges every
+    ``results*.jsonl`` in the directory, so shard and non-shard writers
+    share one namespace.  Duplicate keys are tolerated (last parsed entry
+    wins — entries for one key are identical anyway because simulations
+    are deterministic).
+
+    ``hits``/``misses`` count :meth:`get` outcomes, so ``hits / (hits +
+    misses)`` is the true lookup hit rate regardless of whether a miss is
+    later followed by a :meth:`put`.
+    """
+
+    def __init__(self, directory: Optional[Path] = None, shard: Optional[str] = None) -> None:
+        self.directory = Path(directory) if directory is not None else _default_cache_dir()
+        self.shard = shard
+        name = "results.jsonl" if shard is None else f"results-{shard}.jsonl"
+        self.path = self.directory / name
         self._memory: Dict[str, SimResult] = {}
         self._loaded = False
         self.hits = 0
@@ -50,26 +83,33 @@ class ResultCache:
         if self._loaded:
             return
         self._loaded = True
-        if not self.path.exists():
+        if not self.directory.is_dir():
             return
-        with open(self.path) as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                    result = SimResult.from_dict(entry["result"])
-                except (json.JSONDecodeError, KeyError, TypeError):
-                    continue  # tolerate a truncated trailing line
-                self._memory[entry["key"]] = result
+        for path in sorted(self.directory.glob("results*.jsonl")):
+            try:
+                handle = open(path)
+            except OSError:  # pragma: no cover - shard deleted mid-scan
+                continue
+            with handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                        result = SimResult.from_dict(entry["result"])
+                    except (json.JSONDecodeError, KeyError, TypeError):
+                        continue  # tolerate a truncated trailing line
+                    self._memory[entry["key"]] = result
 
     def get(self, workload_digest: str, system_digest: str) -> Optional[SimResult]:
-        """Cached result, or None."""
+        """Cached result, or None.  Counts toward ``hits``/``misses``."""
         self._load()
         result = self._memory.get(self.key(workload_digest, system_digest))
         if result is not None:
             self.hits += 1
+        else:
+            self.misses += 1
         return result
 
     def put(self, result: SimResult) -> None:
@@ -77,27 +117,82 @@ class ResultCache:
         self._load()
         key = self.key(result.workload_digest, result.system_digest)
         self._memory[key] = result
-        self.misses += 1
         self.directory.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a") as handle:
-            handle.write(json.dumps({"key": key, "result": result.to_dict()}) + "\n")
+        line = json.dumps({"key": key, "result": result.to_dict()}) + "\n"
+        # One O_APPEND write per entry: atomic on local POSIX filesystems,
+        # belt-and-braces flock for NFS and very large entries.
+        fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            if fcntl is not None:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+                except OSError:  # pragma: no cover
+                    pass
+            os.close(fd)
+
+    def absorb(self, result: SimResult) -> None:
+        """Record a result in memory only (it is already on disk elsewhere).
+
+        The parallel runner's workers persist results to their own shard
+        files; the coordinating process absorbs the returned results so
+        later :meth:`get` calls hit without re-reading the directory.
+        """
+        self._load()
+        self._memory[self.key(result.workload_digest, result.system_digest)] = result
 
     def __len__(self) -> int:
         self._load()
         return len(self._memory)
 
 
-_DISABLED = os.environ.get("REPRO_NO_CACHE", "") not in ("", "0")
-#: Process-wide default cache instance.
-DEFAULT_CACHE: Optional[ResultCache] = None if _DISABLED else ResultCache()
+#: Sentinel meaning "use the process-wide default cache, resolved at call
+#: time" — a plain ``cache=DEFAULT_CACHE`` default would freeze whatever
+#: the environment looked like at import time.
+_USE_DEFAULT = object()
+
+#: Process-wide default cache instance (kept in sync by :func:`default_cache`;
+#: prefer calling that over reading this directly).
+DEFAULT_CACHE: Optional[ResultCache] = None
+
+#: Environment snapshot the current DEFAULT_CACHE was built from.
+_DEFAULT_CACHE_ENV: Optional[tuple] = None
+
+
+def default_cache() -> Optional[ResultCache]:
+    """The process-wide default cache, honoring the current environment.
+
+    Re-reads ``REPRO_NO_CACHE``/``REPRO_CACHE_DIR`` on every call and
+    rebuilds :data:`DEFAULT_CACHE` when they changed, so tests and scripts
+    can flip caching on, off, or elsewhere after import.  Monkeypatching
+    :data:`DEFAULT_CACHE` directly also works: the patched instance is
+    returned as long as the environment is unchanged.
+    """
+    global DEFAULT_CACHE, _DEFAULT_CACHE_ENV
+    env = (os.environ.get("REPRO_NO_CACHE", ""), os.environ.get("REPRO_CACHE_DIR", ""))
+    if env != _DEFAULT_CACHE_ENV:
+        _DEFAULT_CACHE_ENV = env
+        disabled = env[0] not in ("", "0")
+        DEFAULT_CACHE = None if disabled else ResultCache()
+    return DEFAULT_CACHE
+
+
+def _resolve_cache(cache) -> Optional[ResultCache]:
+    if cache is _USE_DEFAULT:
+        return default_cache()
+    return cache
 
 
 def run_one(
     workload: Workload,
     config: SystemConfig,
-    cache: Optional[ResultCache] = DEFAULT_CACHE,
+    cache=_USE_DEFAULT,
 ) -> SimResult:
     """Simulate one workload on one configuration, using the cache."""
+    cache = _resolve_cache(cache)
     digest = workload.digest()
     if cache is not None:
         cached = cache.get(digest, config.digest())
@@ -112,14 +207,86 @@ def run_one(
 def run_suite(
     config: SystemConfig,
     workloads: Optional[Iterable[Workload]] = None,
-    cache: Optional[ResultCache] = DEFAULT_CACHE,
+    cache=_USE_DEFAULT,
 ) -> Dict[str, SimResult]:
-    """Run (or fetch) the whole suite on ``config``; keyed by workload name."""
-    if workloads is None:
-        workloads = suite_workloads()
+    """Run (or fetch) the whole suite on ``config``; keyed by workload name.
+
+    Transparently fans out over a process pool when more than one worker
+    is configured (see :func:`repro.parallel.resolve_workers`); with
+    ``REPRO_WORKERS=1`` this is the classic serial loop.
+    """
+    return run_suites([config], workloads=workloads, cache=cache)[0]
+
+
+def run_suites(
+    configs: Sequence[SystemConfig],
+    workloads: Optional[Iterable[Workload]] = None,
+    cache=_USE_DEFAULT,
+    max_workers: Optional[int] = None,
+    progress=None,
+) -> List[Dict[str, SimResult]]:
+    """Run the suite on several configurations in one (parallel) batch.
+
+    Returns one ``{workload name: SimResult}`` dict per configuration, in
+    input order — the exact shape :func:`run_suite` returns per config.
+    Batching every configuration of an experiment into one call lets the
+    parallel runner overlap *all* (workload, config) pairs instead of
+    synchronizing at each configuration boundary.
+
+    ``progress``, when given, is called as ``progress(done, total,
+    result)`` after each simulated (non-cached) pair.
+    """
+    from ..parallel import metrics as _metrics
+    from ..parallel import runner as _runner
+
+    cache = _resolve_cache(cache)
+    configs = list(configs)
+    workload_list = list(workloads) if workloads is not None else suite_workloads()
+    workers = _runner.resolve_workers(max_workers)
+
+    start = time.time()
+    hits_before = cache.hits if cache is not None else 0
+    results: List[Dict[str, SimResult]]
+    if workers > 1:
+        results = _runner.run_suite_parallel(
+            configs,
+            workloads=workload_list,
+            max_workers=workers,
+            cache=cache,
+            progress=progress,
+        )
+    else:
+        results = [
+            _run_suite_serial(config, workload_list, cache, progress)
+            for config in configs
+        ]
+    hits_after = cache.hits if cache is not None else 0
+    total = len(configs) * len(workload_list)
+    cached = hits_after - hits_before
+    _metrics.GLOBAL_METRICS.record_batch(
+        configs=[config.name for config in configs],
+        total=total,
+        cached=cached,
+        wall=time.time() - start,
+        workers=workers,
+    )
+    return results
+
+
+def _run_suite_serial(
+    config: SystemConfig,
+    workloads: Iterable[Workload],
+    cache: Optional[ResultCache],
+    progress=None,
+) -> Dict[str, SimResult]:
+    """The classic serial loop: one reused simulator, workloads in order."""
+    from ..parallel import metrics as _metrics
+
+    workload_list = list(workloads)
     results: Dict[str, SimResult] = {}
     simulator: Optional[Simulator] = None
-    for workload in workloads:
+    done = 0
+    for workload in workload_list:
         digest = workload.digest()
         cached = cache.get(digest, config.digest()) if cache is not None else None
         if cached is not None:
@@ -127,10 +294,15 @@ def run_suite(
             continue
         if simulator is None:
             simulator = Simulator(config)
+        sim_start = time.time()
         result = simulator.run(workload)
+        _metrics.GLOBAL_METRICS.record_sim(result.system_name, time.time() - sim_start)
         if cache is not None:
             cache.put(result)
         results[workload.name] = result
+        done += 1
+        if progress is not None:
+            progress(done, len(workload_list), result)
     return results
 
 
@@ -147,3 +319,8 @@ def names_in_category(category: Category) -> List[str]:
 def filter_names(results: Mapping[str, SimResult], names: Iterable[str]) -> Dict[str, SimResult]:
     """Subset of ``results`` restricted to ``names`` (order preserved)."""
     return {name: results[name] for name in names if name in results}
+
+
+# Materialize the default so ``from repro.experiments import DEFAULT_CACHE``
+# keeps returning a live cache (or None under REPRO_NO_CACHE) at import time.
+default_cache()

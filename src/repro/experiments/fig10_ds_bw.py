@@ -7,16 +7,18 @@ traffic by ~33% overall compared to the baseline.
 from __future__ import annotations
 
 from ..core.presets import baseline_mcm_gpu, mcm_gpu_with_l15
-from .common import run_suite
+from .common import run_suites
 from .traffic_common import TrafficComparison, build_comparison
 from .traffic_common import report as report_traffic
 
 
 def run_fig10(l15_mb: int = 16) -> TrafficComparison:
     """Compare baseline traffic against L1.5 + distributed scheduling."""
-    baseline = run_suite(baseline_mcm_gpu())
-    with_ds = run_suite(
-        mcm_gpu_with_l15(l15_mb, remote_only=True, scheduler="distributed")
+    baseline, with_ds = run_suites(
+        [
+            baseline_mcm_gpu(),
+            mcm_gpu_with_l15(l15_mb, remote_only=True, scheduler="distributed"),
+        ]
     )
     return build_comparison(
         "Figure 10: Baseline vs 16MB remote-only L1.5 + DS",

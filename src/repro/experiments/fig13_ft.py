@@ -18,7 +18,7 @@ from ..analysis.report import format_table
 from ..analysis.speedup import geomean_speedup, speedups
 from ..core.presets import baseline_mcm_gpu, mcm_gpu_with_l15
 from ..workloads.synthetic import Category
-from .common import filter_names, names_in_category, run_suite
+from .common import filter_names, names_in_category, run_suites
 
 
 @dataclass(frozen=True)
@@ -34,20 +34,22 @@ class FTVariant:
 
 def run_fig13() -> Dict[int, FTVariant]:
     """Simulate the 16 MB and 8 MB splits with all three optimizations."""
-    baseline = run_suite(baseline_mcm_gpu())
+    splits = (16, 8)
+    configs = [baseline_mcm_gpu()] + [
+        mcm_gpu_with_l15(
+            l15_mb,
+            remote_only=True,
+            scheduler="distributed",
+            placement="first_touch",
+        )
+        for l15_mb in splits
+    ]
+    baseline, *split_results = run_suites(configs)
     m_names = names_in_category(Category.M_INTENSIVE)
     c_names = names_in_category(Category.C_INTENSIVE)
     l_names = names_in_category(Category.LIMITED_PARALLELISM)
     out: Dict[int, FTVariant] = {}
-    for l15_mb in (16, 8):
-        results = run_suite(
-            mcm_gpu_with_l15(
-                l15_mb,
-                remote_only=True,
-                scheduler="distributed",
-                placement="first_touch",
-            )
-        )
+    for l15_mb, results in zip(splits, split_results):
         out[l15_mb] = FTVariant(
             l15_mb=l15_mb,
             per_workload_m=speedups(

@@ -7,19 +7,19 @@ traffic than the baseline; several workloads nearly eliminate it.
 from __future__ import annotations
 
 from ..core.presets import baseline_mcm_gpu, mcm_gpu_with_l15
-from .common import run_suite
+from .common import run_suites
 from .traffic_common import TrafficComparison, build_comparison
 from .traffic_common import report as report_traffic
 
 
 def run_fig14() -> TrafficComparison:
     """Compare baseline traffic against both optimized splits."""
-    baseline = run_suite(baseline_mcm_gpu())
-    ft16 = run_suite(
-        mcm_gpu_with_l15(16, remote_only=True, scheduler="distributed", placement="first_touch")
-    )
-    ft8 = run_suite(
-        mcm_gpu_with_l15(8, remote_only=True, scheduler="distributed", placement="first_touch")
+    baseline, ft16, ft8 = run_suites(
+        [
+            baseline_mcm_gpu(),
+            mcm_gpu_with_l15(16, remote_only=True, scheduler="distributed", placement="first_touch"),
+            mcm_gpu_with_l15(8, remote_only=True, scheduler="distributed", placement="first_touch"),
+        ]
     )
     return build_comparison(
         "Figure 14: Baseline vs L1.5+DS+FT (16MB and 8MB splits)",

@@ -14,7 +14,7 @@ from typing import Dict, List
 from ..analysis.report import format_series
 from ..analysis.speedup import sorted_speedup_curve, speedups
 from ..core.presets import baseline_mcm_gpu, optimized_mcm_gpu
-from .common import run_suite
+from .common import run_suites
 
 
 @dataclass(frozen=True)
@@ -47,8 +47,7 @@ class SCurve:
 
 def run_fig15() -> SCurve:
     """Simulate optimized vs baseline over the whole suite."""
-    baseline = run_suite(baseline_mcm_gpu())
-    optimized = run_suite(optimized_mcm_gpu())
+    baseline, optimized = run_suites([baseline_mcm_gpu(), optimized_mcm_gpu()])
     return SCurve(per_workload=speedups(optimized, baseline))
 
 

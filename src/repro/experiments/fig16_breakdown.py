@@ -23,7 +23,7 @@ from ..core.presets import (
     monolithic_gpu,
     optimized_mcm_gpu,
 )
-from .common import run_suite
+from .common import run_suites
 
 
 @dataclass(frozen=True)
@@ -40,7 +40,6 @@ class Breakdown:
 def run_fig16() -> Breakdown:
     """Simulate every Figure 16 design point."""
     baseline_cfg = baseline_mcm_gpu()
-    baseline = run_suite(baseline_cfg)
     points = {
         "l15-alone": mcm_gpu_with_l15(16, remote_only=True),
         "ds-alone": replace(baseline_cfg, scheduler="distributed", name="mcm-ds-only"),
@@ -49,9 +48,11 @@ def run_fig16() -> Breakdown:
         "mcm-6tbs": baseline_mcm_gpu(link_bandwidth=6144.0),
         "monolithic-256": monolithic_gpu(256),
     }
-    result: Dict[str, float] = {}
-    for label, config in points.items():
-        result[label] = geomean_speedup(run_suite(config), baseline)
+    baseline, *point_results = run_suites([baseline_cfg] + list(points.values()))
+    result: Dict[str, float] = {
+        label: geomean_speedup(results, baseline)
+        for label, results in zip(points, point_results)
+    }
     return Breakdown(speedups=result)
 
 

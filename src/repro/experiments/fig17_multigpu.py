@@ -25,7 +25,7 @@ from ..core.presets import (
     multi_gpu,
     optimized_mcm_gpu,
 )
-from .common import run_suite
+from .common import run_suites
 
 
 @dataclass(frozen=True)
@@ -41,16 +41,17 @@ class MultiGPUComparison:
 
 def run_fig17() -> MultiGPUComparison:
     """Simulate every Figure 17 system."""
-    baseline = run_suite(multi_gpu(optimized=False))
     points = {
         "multi-gpu-optimized": multi_gpu(optimized=True),
         "mcm-optimized": optimized_mcm_gpu(),
         "mcm-6tbs": baseline_mcm_gpu(link_bandwidth=6144.0),
         "monolithic-256": monolithic_gpu(256),
     }
-    out: Dict[str, float] = {}
-    for label, config in points.items():
-        out[label] = geomean_speedup(run_suite(config), baseline)
+    baseline, *point_results = run_suites([multi_gpu(optimized=False)] + list(points.values()))
+    out: Dict[str, float] = {
+        label: geomean_speedup(results, baseline)
+        for label, results in zip(points, point_results)
+    }
     return MultiGPUComparison(speedups=out)
 
 

@@ -20,7 +20,7 @@ from ..analysis.speedup import geomean_speedup
 from ..core.presets import monolithic_gpu
 from ..sim.result import SimResult
 from ..workloads.synthetic import Category
-from .common import filter_names, names_in_category, run_suite
+from .common import filter_names, names_in_category, run_suites
 
 #: SM counts evaluated by default.  The paper sweeps 32..288; the default
 #: keeps the powers of two plus the 288 extrapolation point.
@@ -51,10 +51,10 @@ def run_fig2(sm_counts: Sequence[int] = DEFAULT_SM_COUNTS) -> List[ScalingPoint]
     high = names_in_category(Category.M_INTENSIVE) + names_in_category(Category.C_INTENSIVE)
     limited = names_in_category(Category.LIMITED_PARALLELISM)
 
-    reference: Dict[str, SimResult] = run_suite(monolithic_gpu(32))
+    configs = [monolithic_gpu(32)] + [monolithic_gpu(n_sms) for n_sms in sm_counts]
+    reference, *swept = run_suites(configs)
     points: List[ScalingPoint] = []
-    for n_sms in sm_counts:
-        results = run_suite(monolithic_gpu(n_sms))
+    for n_sms, results in zip(sm_counts, swept):
         points.append(
             ScalingPoint(
                 n_sms=n_sms,

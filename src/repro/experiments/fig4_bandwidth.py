@@ -19,7 +19,7 @@ from ..analysis.report import format_table
 from ..analysis.speedup import geomean_speedup
 from ..core.presets import baseline_mcm_gpu
 from ..workloads.synthetic import Category
-from .common import filter_names, names_in_category, run_suite
+from .common import filter_names, names_in_category, run_suites
 
 #: Link bandwidth settings swept by the paper, GB/s per link.
 DEFAULT_BANDWIDTHS: Tuple[float, ...] = (6144.0, 3072.0, 1536.0, 768.0, 384.0)
@@ -39,15 +39,17 @@ def run_fig4(bandwidths: Sequence[float] = DEFAULT_BANDWIDTHS) -> List[Bandwidth
     """Simulate the sweep; performance is relative to the first setting."""
     if not bandwidths:
         raise ValueError("need at least one bandwidth setting")
-    reference = run_suite(baseline_mcm_gpu(link_bandwidth=bandwidths[0]))
+    configs = [baseline_mcm_gpu(link_bandwidth=bandwidths[0])] + [
+        baseline_mcm_gpu(link_bandwidth=bandwidth) for bandwidth in bandwidths
+    ]
+    reference, *swept = run_suites(configs)
     categories = {
         "m": names_in_category(Category.M_INTENSIVE),
         "c": names_in_category(Category.C_INTENSIVE),
         "l": names_in_category(Category.LIMITED_PARALLELISM),
     }
     points: List[BandwidthPoint] = []
-    for bandwidth in bandwidths:
-        results = run_suite(baseline_mcm_gpu(link_bandwidth=bandwidth))
+    for bandwidth, results in zip(bandwidths, swept):
         relative: Dict[str, float] = {
             key: geomean_speedup(
                 filter_names(results, names), filter_names(reference, names)

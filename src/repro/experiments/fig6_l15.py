@@ -19,7 +19,7 @@ from ..analysis.report import format_table
 from ..analysis.speedup import geomean_speedup, speedups
 from ..core.presets import baseline_mcm_gpu, mcm_gpu_with_l15
 from ..workloads.synthetic import Category
-from .common import filter_names, names_in_category, run_suite
+from .common import filter_names, names_in_category, run_suites
 
 #: Design points: (capacity MB, remote_only).
 DEFAULT_VARIANTS: Tuple[Tuple[int, bool], ...] = (
@@ -52,13 +52,16 @@ class L15Variant:
 
 def run_fig6(variants: Tuple[Tuple[int, bool], ...] = DEFAULT_VARIANTS) -> List[L15Variant]:
     """Simulate every design point against the no-L1.5 baseline."""
-    baseline = run_suite(baseline_mcm_gpu())
+    configs = [baseline_mcm_gpu()] + [
+        mcm_gpu_with_l15(capacity_mb, remote_only=remote_only)
+        for capacity_mb, remote_only in variants
+    ]
+    baseline, *variant_results = run_suites(configs)
     m_names = names_in_category(Category.M_INTENSIVE)
     c_names = names_in_category(Category.C_INTENSIVE)
     l_names = names_in_category(Category.LIMITED_PARALLELISM)
     out: List[L15Variant] = []
-    for capacity_mb, remote_only in variants:
-        results = run_suite(mcm_gpu_with_l15(capacity_mb, remote_only=remote_only))
+    for (capacity_mb, remote_only), results in zip(variants, variant_results):
         out.append(
             L15Variant(
                 capacity_mb=capacity_mb,

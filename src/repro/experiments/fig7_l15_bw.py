@@ -8,15 +8,16 @@ SSSP reduced by up to ~40%.
 from __future__ import annotations
 
 from ..core.presets import baseline_mcm_gpu, mcm_gpu_with_l15
-from .common import run_suite
+from .common import run_suites
 from .traffic_common import TrafficComparison, build_comparison
 from .traffic_common import report as report_traffic
 
 
 def run_fig7() -> TrafficComparison:
     """Compare baseline traffic against the 16 MB remote-only L1.5."""
-    baseline = run_suite(baseline_mcm_gpu())
-    with_l15 = run_suite(mcm_gpu_with_l15(16, remote_only=True))
+    baseline, with_l15 = run_suites(
+        [baseline_mcm_gpu(), mcm_gpu_with_l15(16, remote_only=True)]
+    )
     return build_comparison(
         "Figure 7: Baseline vs 16MB remote-only L1.5",
         [("baseline", baseline), ("16MB remote-only L1.5", with_l15)],

@@ -17,7 +17,7 @@ from ..analysis.report import format_table
 from ..analysis.speedup import geomean_speedup, speedups
 from ..core.presets import baseline_mcm_gpu, mcm_gpu_with_l15
 from ..workloads.synthetic import Category
-from .common import filter_names, names_in_category, run_suite
+from .common import filter_names, names_in_category, run_suites
 
 
 @dataclass(frozen=True)
@@ -32,9 +32,11 @@ class DSResult:
 
 def run_fig9(l15_mb: int = 16) -> DSResult:
     """Simulate L1.5 + DS against the baseline."""
-    baseline = run_suite(baseline_mcm_gpu())
-    results = run_suite(
-        mcm_gpu_with_l15(l15_mb, remote_only=True, scheduler="distributed")
+    baseline, results = run_suites(
+        [
+            baseline_mcm_gpu(),
+            mcm_gpu_with_l15(l15_mb, remote_only=True, scheduler="distributed"),
+        ]
     )
     m_names = names_in_category(Category.M_INTENSIVE)
     c_names = names_in_category(Category.C_INTENSIVE)

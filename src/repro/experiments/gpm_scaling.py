@@ -18,7 +18,7 @@ from ..analysis.report import format_table
 from ..analysis.speedup import geomean_speedup
 from ..core.config import GPMConfig
 from ..core.presets import baseline_mcm_gpu, optimized_mcm_gpu
-from .common import run_suite
+from .common import run_suites
 
 #: Total SMs held constant across the sweep.
 TOTAL_SMS = 256
@@ -53,20 +53,24 @@ def _scaled_config(base_config, n_gpms: int, name: str):
 
 def run_gpm_scaling(gpm_counts: Sequence[int] = DEFAULT_GPM_COUNTS) -> List[GPMScalingPoint]:
     """Sweep the module count for the baseline and optimized designs."""
-    reference_base = run_suite(baseline_mcm_gpu())
-    reference_opt = run_suite(optimized_mcm_gpu())
-    points: List[GPMScalingPoint] = []
     for n_gpms in gpm_counts:
         if TOTAL_SMS % n_gpms:
             raise ValueError(f"{n_gpms} GPMs do not divide {TOTAL_SMS} SMs")
-        base_cfg = _scaled_config(baseline_mcm_gpu(), n_gpms, f"mcm-baseline-{n_gpms}gpm")
-        opt_cfg = _scaled_config(optimized_mcm_gpu(), n_gpms, f"mcm-optimized-{n_gpms}gpm")
+    configs = [baseline_mcm_gpu(), optimized_mcm_gpu()]
+    for n_gpms in gpm_counts:
+        configs.append(_scaled_config(baseline_mcm_gpu(), n_gpms, f"mcm-baseline-{n_gpms}gpm"))
+        configs.append(_scaled_config(optimized_mcm_gpu(), n_gpms, f"mcm-optimized-{n_gpms}gpm"))
+    reference_base, reference_opt, *swept = run_suites(configs)
+    points: List[GPMScalingPoint] = []
+    for index, n_gpms in enumerate(gpm_counts):
+        base_results = swept[2 * index]
+        opt_results = swept[2 * index + 1]
         points.append(
             GPMScalingPoint(
                 n_gpms=n_gpms,
                 sms_per_gpm=TOTAL_SMS // n_gpms,
-                baseline_speedup=geomean_speedup(run_suite(base_cfg), reference_base),
-                optimized_speedup=geomean_speedup(run_suite(opt_cfg), reference_opt),
+                baseline_speedup=geomean_speedup(base_results, reference_base),
+                optimized_speedup=geomean_speedup(opt_results, reference_opt),
             )
         )
     return points

@@ -23,7 +23,7 @@ from ..analysis.speedup import geomean_speedup
 from ..core.presets import baseline_mcm_gpu, optimized_mcm_gpu
 from ..interconnect.fully_connected import iso_budget_link_bandwidth
 from ..workloads.synthetic import Category
-from .common import filter_names, names_in_category, run_suite
+from .common import filter_names, names_in_category, run_suites
 
 
 @dataclass(frozen=True)
@@ -56,13 +56,25 @@ def run_topology_study(link_setting: float = 768.0) -> Dict[str, TopologyPoint]:
     """Compare topologies on the baseline and optimized machines."""
     points: Dict[str, TopologyPoint] = {}
 
-    ring_base = run_suite(baseline_mcm_gpu(link_bandwidth=link_setting))
     fc_bandwidth = iso_budget_link_bandwidth(link_setting, 4)
     fc_base_cfg = replace(
         baseline_mcm_gpu(link_bandwidth=fc_bandwidth, name=f"mcm-fc-{int(link_setting)}"),
         topology="fully_connected",
     )
-    fc_base = run_suite(fc_base_cfg)
+    fc_opt_cfg = replace(
+        optimized_mcm_gpu(
+            link_bandwidth=fc_bandwidth, name=f"mcm-opt-fc-{int(link_setting)}"
+        ),
+        topology="fully_connected",
+    )
+    ring_base, fc_base, ring_opt, fc_opt = run_suites(
+        [
+            baseline_mcm_gpu(link_bandwidth=link_setting),
+            fc_base_cfg,
+            optimized_mcm_gpu(link_bandwidth=link_setting),
+            fc_opt_cfg,
+        ]
+    )
     cats = _categories(fc_base, ring_base)
     points["baseline"] = TopologyPoint(
         label=f"all-to-all vs ring @ {link_setting:.0f} GB/s budget",
@@ -72,14 +84,6 @@ def run_topology_study(link_setting: float = 768.0) -> Dict[str, TopologyPoint]:
         overall=cats["all"],
     )
 
-    ring_opt = run_suite(optimized_mcm_gpu(link_bandwidth=link_setting))
-    fc_opt_cfg = replace(
-        optimized_mcm_gpu(
-            link_bandwidth=fc_bandwidth, name=f"mcm-opt-fc-{int(link_setting)}"
-        ),
-        topology="fully_connected",
-    )
-    fc_opt = run_suite(fc_opt_cfg)
     cats = _categories(fc_opt, ring_opt)
     points["optimized"] = TopologyPoint(
         label="all-to-all vs ring, optimized machine",

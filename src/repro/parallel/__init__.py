@@ -1,0 +1,33 @@
+"""Parallel suite execution.
+
+Independent (workload, configuration) simulations are embarrassingly
+parallel; this package fans them out over a :class:`concurrent.futures.
+ProcessPoolExecutor` while keeping the serial path's semantics:
+
+* results are bit-identical to the serial runner (simulations are
+  deterministic and share no state across processes);
+* each worker process builds at most one :class:`~repro.sim.simulator.
+  Simulator` per configuration digest and reuses it across workloads,
+  mirroring the serial loop's simulator reuse;
+* the shared disk cache (:class:`~repro.experiments.common.ResultCache`)
+  is consulted before dispatch and written concurrently via per-process
+  shard files, so interrupted runs still keep every finished result.
+
+Worker-count policy lives in :func:`resolve_workers`: an explicit
+argument wins, then the ``REPRO_WORKERS`` environment variable, then the
+machine's core count.  ``REPRO_WORKERS=1`` disables fan-out entirely.
+
+Throughput accounting (sims/sec, cache hit rate, per-config wall time)
+is aggregated in :data:`repro.parallel.metrics.GLOBAL_METRICS` and
+rendered by the experiment scripts after each run.
+"""
+
+from .metrics import GLOBAL_METRICS, SuiteMetrics
+from .runner import resolve_workers, run_suite_parallel
+
+__all__ = [
+    "GLOBAL_METRICS",
+    "SuiteMetrics",
+    "resolve_workers",
+    "run_suite_parallel",
+]

@@ -1,0 +1,98 @@
+"""Throughput accounting for suite runs.
+
+A tiny process-local aggregator: the suite runners record how many
+(workload, config) pairs each batch covered, how many came from the
+cache, and how much simulation time each configuration consumed; the
+experiment scripts render one summary line per experiment from it.
+Reset it between experiments to scope the report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class SuiteMetrics:
+    """Accumulates batch/throughput counters for one reporting window."""
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear all counters (start a new reporting window)."""
+        self.total_pairs = 0
+        self.cached_pairs = 0
+        self.wall_seconds = 0.0
+        self.workers = 1
+        self.configs: List[str] = []
+        self.sim_seconds_by_config: Dict[str, float] = {}
+        self.sims_by_config: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def record_batch(
+        self,
+        configs: List[str],
+        total: int,
+        cached: int,
+        wall: float,
+        workers: int,
+    ) -> None:
+        """Record one :func:`~repro.experiments.common.run_suites` batch."""
+        self.total_pairs += total
+        self.cached_pairs += cached
+        self.wall_seconds += wall
+        self.workers = max(self.workers, workers)
+        for name in configs:
+            if name not in self.configs:
+                self.configs.append(name)
+
+    def record_sim(self, config_name: str, sim_seconds: float) -> None:
+        """Record one executed simulation's wall time for ``config_name``."""
+        self.sim_seconds_by_config[config_name] = (
+            self.sim_seconds_by_config.get(config_name, 0.0) + sim_seconds
+        )
+        self.sims_by_config[config_name] = self.sims_by_config.get(config_name, 0) + 1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def executed_pairs(self) -> int:
+        """Pairs that actually simulated (total minus cache hits)."""
+        return self.total_pairs - self.cached_pairs
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of pairs served from the cache."""
+        if self.total_pairs == 0:
+            return 0.0
+        return self.cached_pairs / self.total_pairs
+
+    @property
+    def sims_per_second(self) -> float:
+        """Executed simulations per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.executed_pairs / self.wall_seconds
+
+    def report(self, per_config: bool = True) -> str:
+        """Human-readable summary of the current window."""
+        if self.total_pairs == 0:
+            return "no suite runs recorded"
+        lines = [
+            f"{self.total_pairs} sims in {self.wall_seconds:.1f}s wall "
+            f"({self.executed_pairs} executed, {self.cached_pairs} cached, "
+            f"hit rate {self.hit_rate:.0%}) — {self.sims_per_second:.1f} sims/s "
+            f"on {self.workers} worker{'s' if self.workers != 1 else ''}"
+        ]
+        if per_config and self.sim_seconds_by_config:
+            for name, seconds in sorted(
+                self.sim_seconds_by_config.items(), key=lambda item: -item[1]
+            ):
+                count = self.sims_by_config.get(name, 0)
+                lines.append(f"  {name}: {count} sims, {seconds:.1f}s sim time")
+        return "\n".join(lines)
+
+
+#: Process-wide aggregator the suite runners feed.
+GLOBAL_METRICS = SuiteMetrics()

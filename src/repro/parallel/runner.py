@@ -1,0 +1,227 @@
+"""Process-pool runner for (workload, configuration) simulation fan-out.
+
+The unit of work is one (workload, config) pair.  The coordinating
+process checks the result cache before dispatch, deduplicates pairs that
+appear under several output slots (experiments often reuse one baseline
+configuration), and merges worker results back into the per-config
+``{workload name: SimResult}`` dicts the serial path returns.
+
+Worker processes keep a module-level ``{config digest: Simulator}`` table
+so a configuration's system model is built once per worker, not once per
+workload, and persist every finished result to a per-process cache shard
+(``results-w<pid>.jsonl``) in the shared cache directory — concurrency-
+safe by construction, and crash-safe: results survive even if the
+coordinating process dies before the merge.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import SystemConfig
+from ..sim.result import SimResult
+from ..sim.simulator import Simulator
+from ..workloads.suite import suite_workloads
+from ..workloads.synthetic import SyntheticWorkload, WorkloadSpec
+from ..workloads.trace import Workload
+
+# ----------------------------------------------------------------------
+# Worker-process state
+# ----------------------------------------------------------------------
+
+#: Per-worker simulator table: config digest -> Simulator (built once).
+_WORKER_SIMULATORS: Dict[str, Simulator] = {}
+
+#: Per-worker cache shard (None when caching is disabled for the run).
+_WORKER_CACHE = None
+
+
+def _init_worker(cache_dir: Optional[str]) -> None:
+    """Process-pool initializer: open this worker's cache shard."""
+    global _WORKER_CACHE
+    _WORKER_SIMULATORS.clear()
+    if cache_dir is None:
+        _WORKER_CACHE = None
+        return
+    from ..experiments.common import ResultCache
+
+    _WORKER_CACHE = ResultCache(cache_dir, shard=f"w{os.getpid()}")
+
+
+def _revive_workload(payload) -> Workload:
+    """Rebuild the workload a task was shipped with."""
+    if isinstance(payload, WorkloadSpec):
+        return SyntheticWorkload(payload)
+    return payload
+
+
+def _run_task(payload, config: SystemConfig) -> Tuple[SimResult, float]:
+    """Worker entry point: simulate one pair, reusing per-config simulators."""
+    workload = _revive_workload(payload)
+    digest = config.digest()
+    simulator = _WORKER_SIMULATORS.get(digest)
+    if simulator is None:
+        simulator = Simulator(config)
+        _WORKER_SIMULATORS[digest] = simulator
+    start = time.time()
+    result = simulator.run(workload)
+    elapsed = time.time() - start
+    if _WORKER_CACHE is not None:
+        _WORKER_CACHE.put(result)
+    return result, elapsed
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+
+
+def resolve_workers(max_workers: Optional[int] = None) -> int:
+    """Worker count: explicit argument, else ``REPRO_WORKERS``, else cores.
+
+    Any value below one is clamped to one (the serial path); a malformed
+    ``REPRO_WORKERS`` is treated as unset rather than crashing a bench.
+    """
+    if max_workers is not None:
+        return max(1, int(max_workers))
+    env = os.environ.get("REPRO_WORKERS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def _shippable(workload: Workload):
+    """The payload to send a worker for ``workload``, or None if unpicklable.
+
+    Synthetic workloads travel as their spec (tiny, always picklable) and
+    are rebuilt worker-side; other Workload subclasses are shipped whole
+    when pickle accepts them, and fall back to in-process simulation when
+    it does not.
+    """
+    if isinstance(workload, SyntheticWorkload):
+        return workload.spec
+    try:
+        pickle.dumps(workload)
+    except Exception:
+        return None
+    return workload
+
+
+def run_suite_parallel(
+    configs: Sequence[SystemConfig],
+    workloads: Optional[Sequence[Workload]] = None,
+    max_workers: Optional[int] = None,
+    cache=None,
+    progress=None,
+) -> List[Dict[str, SimResult]]:
+    """Simulate every (workload, config) pair over a process pool.
+
+    Returns one ``{workload name: SimResult}`` dict per configuration in
+    input order — the same shape the serial :func:`~repro.experiments.
+    common.run_suite` produces for each config, and (because simulations
+    are deterministic) the same values.
+
+    ``cache`` follows :class:`~repro.experiments.common.ResultCache`
+    semantics: hits are returned without dispatch, worker processes
+    persist misses to per-process shards of the same cache directory, and
+    the coordinator absorbs returned results in memory.  ``progress``,
+    when given, is called as ``progress(done, total, result)`` after each
+    simulated pair.
+    """
+    configs = list(configs)
+    workload_list = list(workloads) if workloads is not None else suite_workloads()
+    workers = resolve_workers(max_workers)
+
+    merged: List[Dict[str, SimResult]] = [dict() for _ in configs]
+    # pair key -> list of (config slot, workload name) output positions
+    sinks: Dict[str, List[Tuple[int, str]]] = {}
+    # pair key -> (payload, config) for pairs that must be simulated
+    pending: Dict[str, Tuple[object, SystemConfig]] = {}
+    local: List[Tuple[str, Workload, SystemConfig]] = []
+
+    for slot, config in enumerate(configs):
+        config_digest = config.digest()
+        for workload in workload_list:
+            key = f"{workload.digest()}##{config_digest}"
+            if key in sinks:
+                sinks[key].append((slot, workload.name))
+                continue
+            sinks[key] = [(slot, workload.name)]
+            cached = cache.get(workload.digest(), config_digest) if cache is not None else None
+            if cached is not None:
+                _fan_out(merged, sinks[key], cached)
+                continue
+            payload = _shippable(workload)
+            if payload is None:
+                local.append((key, workload, config))
+            else:
+                pending[key] = (payload, config)
+
+    total = len(pending) + len(local)
+    done = 0
+
+    def _record(key: str, result: SimResult) -> None:
+        nonlocal done
+        if cache is not None:
+            cache.absorb(result)
+        _fan_out(merged, sinks[key], result)
+        done += 1
+        if progress is not None:
+            progress(done, total, result)
+
+    if pending:
+        cache_dir = str(cache.directory) if cache is not None else None
+        pool_workers = min(workers, len(pending))
+        with ProcessPoolExecutor(
+            max_workers=pool_workers,
+            initializer=_init_worker,
+            initargs=(cache_dir,),
+        ) as pool:
+            futures = {
+                pool.submit(_run_task, payload, config): key
+                for key, (payload, config) in pending.items()
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    result, sim_seconds = future.result()
+                    from .metrics import GLOBAL_METRICS
+
+                    GLOBAL_METRICS.record_sim(result.system_name, sim_seconds)
+                    _record(futures[future], result)
+
+    # Unpicklable workloads run in-process (rare; custom Workload objects).
+    for key, workload, config in local:
+        from .metrics import GLOBAL_METRICS
+
+        start = time.time()
+        result = Simulator(config).run(workload)
+        GLOBAL_METRICS.record_sim(result.system_name, time.time() - start)
+        if cache is not None:
+            cache.put(result)
+        _fan_out(merged, sinks[key], result)
+        done += 1
+        if progress is not None:
+            progress(done, total, result)
+
+    # Re-key each dict into workload order so iteration order matches the
+    # serial path exactly.
+    names = [workload.name for workload in workload_list]
+    return [
+        {name: per_config[name] for name in names if name in per_config}
+        for per_config in merged
+    ]
+
+
+def _fan_out(merged: List[Dict[str, SimResult]], positions, result: SimResult) -> None:
+    """Write one result into every (config slot, workload name) it serves."""
+    for slot, name in positions:
+        merged[slot][name] = result

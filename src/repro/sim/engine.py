@@ -157,24 +157,34 @@ class SimulationEngine:
         return quiesce if quiesce > kernel_end else kernel_end
 
     def _launch(self, heap: List, kernel: KernelLaunch, cta_index: int, sm, at: float) -> None:
-        trace = kernel.trace_fn(cta_index)
-        if len(trace) != kernel.groups_per_cta:
-            raise ValueError(
-                f"kernel {kernel.label!r}: trace_fn returned {len(trace)} groups, "
-                f"expected {kernel.groups_per_cta}"
-            )
-        sm.occupy_slot()
-        cta = _CTA(cta_index, len(trace), sm)
-        for records in trace:
-            if not records:
-                cta.groups_left -= 1
-                continue
-            self._seq += 1
-            heappush(heap, (at, self._seq, _WarpGroup(cta, records)))
-        if cta.groups_left == 0:
-            # Degenerate empty CTA: retire immediately.
+        # Loop rather than recurse: a degenerate all-empty CTA retires
+        # immediately, and its freed slot must pull the next CTA from the
+        # scheduler — otherwise a refill-path chain of empty CTAs strands
+        # undispatched work and the drain invariant below trips.
+        while True:
+            trace = kernel.trace_fn(cta_index)
+            if len(trace) != kernel.groups_per_cta:
+                raise ValueError(
+                    f"kernel {kernel.label!r}: trace_fn returned {len(trace)} groups, "
+                    f"expected {kernel.groups_per_cta}"
+                )
+            sm.occupy_slot()
+            cta = _CTA(cta_index, len(trace), sm)
+            for records in trace:
+                if not records:
+                    cta.groups_left -= 1
+                    continue
+                self._seq += 1
+                heappush(heap, (at, self._seq, _WarpGroup(cta, records)))
+            if cta.groups_left > 0:
+                return
+            # Degenerate empty CTA: retire immediately and refill the slot.
             self.ctas_executed += 1
             sm.release_slot()
+            next_index = self.scheduler.next_cta(sm)
+            if next_index is None:
+                return
+            cta_index = next_index
 
     # ------------------------------------------------------------------
 

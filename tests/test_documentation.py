@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.interconnect",
     "repro.memory",
     "repro.multigpu",
+    "repro.parallel",
     "repro.sched",
     "repro.sim",
     "repro.workloads",

@@ -69,6 +69,36 @@ class TestDegenerateTraces:
         )
         assert result.kernels == 10
 
+    def test_empty_ctas_on_refill_path_do_not_strand_work(self):
+        # Regression: an empty CTA dispatched from the refill path used to
+        # release its slot without asking the scheduler for the next CTA.
+        # With more empty CTAs than retirement events, the heap drained
+        # with CTAs undispatched and the engine raised RuntimeError.
+        config = tiny_config()
+        slots = config.max_resident_ctas  # 8 SMs x 4 slots = 32
+        n_ctas = slots + 3 * slots  # fill every slot, then 3 empties per slot
+
+        def trace_fn(c):
+            if c < slots:
+                return [[TraceRecord(1.0, (c,), ())]]
+            return [[]]
+
+        kernel = KernelLaunch(n_ctas, 1, trace_fn, "refill-empties")
+        result = SimulationEngine(build_system(config)).run(ExplicitWorkload([kernel]))
+        assert result.ctas == n_ctas
+        assert result.records == slots
+
+    def test_all_empty_trace_kernel_completes(self):
+        # Every CTA of the kernel is empty and there are far more CTAs
+        # than resident slots; all must retire through the refill chain.
+        config = tiny_config()
+        n_ctas = 10 * config.max_resident_ctas
+        kernel = KernelLaunch(n_ctas, 2, lambda c: [[], []], "all-empty")
+        result = SimulationEngine(build_system(config)).run(ExplicitWorkload([kernel]))
+        assert result.ctas == n_ctas
+        assert result.records == 0
+        assert result.cycles == 0.0
+
 
 class TestRepeatedAddresses:
     def test_same_line_many_times_hits_l1(self):

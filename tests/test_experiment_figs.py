@@ -46,16 +46,23 @@ def stub_result(name, cycles, link_bytes=10_000):
 
 
 def stub_suite(cycles_by_config):
-    """Build a run_suite replacement keyed by config name."""
+    """Build a run_suites replacement keyed by config name."""
 
-    def fake_run_suite(config, workloads=None, cache=None):
-        factor = cycles_by_config(config)
-        return {
-            spec.name: stub_result(spec.name, 1000.0 * factor, link_bytes=int(10_000 * factor))
-            for spec in all_specs()
-        }
+    def fake_run_suites(configs, workloads=None, cache=None, max_workers=None, progress=None):
+        out = []
+        for config in configs:
+            factor = cycles_by_config(config)
+            out.append(
+                {
+                    spec.name: stub_result(
+                        spec.name, 1000.0 * factor, link_bytes=int(10_000 * factor)
+                    )
+                    for spec in all_specs()
+                }
+            )
+        return out
 
-    return fake_run_suite
+    return fake_run_suites
 
 
 class TestFig2Logic:
@@ -67,7 +74,7 @@ class TestFig2Logic:
         def cycles(config):
             return 32.0 / config.total_sms  # perfect linear scaling
 
-        monkeypatch.setattr(fig2_scaling, "run_suite", stub_suite(cycles))
+        monkeypatch.setattr(fig2_scaling, "run_suites", stub_suite(cycles))
         points = fig2_scaling.run_fig2(sm_counts=(32, 64, 128))
         assert points[0].high_parallelism == pytest.approx(1.0)
         assert points[2].high_parallelism == pytest.approx(4.0)
@@ -80,7 +87,7 @@ class TestFig4Logic:
         def cycles(config):
             return 6144.0 / config.link_bandwidth  # slower at lower settings
 
-        monkeypatch.setattr(fig4_bandwidth, "run_suite", stub_suite(cycles))
+        monkeypatch.setattr(fig4_bandwidth, "run_suites", stub_suite(cycles))
         points = fig4_bandwidth.run_fig4((6144.0, 768.0))
         assert points[0].m_intensive == pytest.approx(1.0)
         assert points[1].m_intensive == pytest.approx(768.0 / 6144.0)
@@ -99,7 +106,7 @@ class TestFig6Logic:
             # 16 MB variants twice as fast as 8 MB variants.
             return 0.5 if config.total_l15_bytes > 300_000 else 0.9
 
-        monkeypatch.setattr(fig6_l15, "run_suite", stub_suite(cycles))
+        monkeypatch.setattr(fig6_l15, "run_suites", stub_suite(cycles))
         variants = fig6_l15.run_fig6(((8, True), (16, True)))
         best = fig6_l15.best_iso_transistor(variants)
         assert best.capacity_mb == 16
@@ -112,7 +119,7 @@ class TestFig6Logic:
 
 class TestFig13Logic:
     def test_two_variants(self, monkeypatch):
-        monkeypatch.setattr(fig13_ft, "run_suite", stub_suite(lambda config: 1.0))
+        monkeypatch.setattr(fig13_ft, "run_suites", stub_suite(lambda config: 1.0))
         variants = fig13_ft.run_fig13()
         assert set(variants) == {8, 16}
         assert "Figure 13" in fig13_ft.report(variants)

@@ -5,8 +5,10 @@ import json
 import pytest
 
 from repro.core.presets import baseline_mcm_gpu
+from repro.experiments import common
 from repro.experiments.common import (
     ResultCache,
+    default_cache,
     filter_names,
     names_in_category,
     run_one,
@@ -74,6 +76,66 @@ class TestResultCache:
     def test_no_cache_mode(self):
         result = run_one(tiny_workload(), tiny_config(), cache=None)
         assert result.ctas == 16
+
+    def test_get_counts_misses_without_put(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("nope", "nada") is None
+        assert cache.get("still", "nope") is None
+        assert cache.misses == 2
+        assert cache.hits == 0
+
+    def test_put_does_not_count_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = run_one(tiny_workload(), tiny_config(), cache=None)
+        cache.put(result)
+        assert cache.misses == 0
+
+    def test_merges_shard_files(self, tmp_path):
+        workload = tiny_workload("shard-wl")
+        config = tiny_config()
+        result = run_one(workload, config, cache=None)
+        ResultCache(tmp_path, shard="w123").put(result)
+        merged = ResultCache(tmp_path)
+        assert merged.get(workload.digest(), config.digest()) is not None
+
+    def test_duplicate_keys_last_wins(self, tmp_path):
+        workload = tiny_workload("dup-wl")
+        config = tiny_config()
+        result = run_one(workload, config, cache=None)
+        cache = ResultCache(tmp_path)
+        cache.put(result)
+        cache.put(result)
+        fresh = ResultCache(tmp_path)
+        assert len(fresh) == 1
+
+
+class TestDefaultCacheResolution:
+    def test_no_cache_env_after_import(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert default_cache() is None
+
+    def test_cache_dir_env_change_rebuilds(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = default_cache()
+        assert cache is not None
+        assert cache.directory == tmp_path
+
+    def test_monkeypatched_default_cache_respected(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        default_cache()  # sync the env snapshot
+        replacement = ResultCache(tmp_path / "patched")
+        monkeypatch.setattr(common, "DEFAULT_CACHE", replacement)
+        assert default_cache() is replacement
+
+    def test_run_one_honors_env_flip(self, tmp_path, monkeypatch):
+        # Enabling REPRO_NO_CACHE after import must stop run_one from
+        # touching the default cache (the old def-time default could not).
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        run_one(tiny_workload("env-wl"), tiny_config())
+        assert not (tmp_path / "results.jsonl").exists()
 
 
 class TestRunSuite:

@@ -39,8 +39,11 @@ def stub_result(name, cycles, remote=0.2):
 
 
 def stub_run_suite(cycle_fn):
-    def fake(config, workloads=None, cache=None):
-        return {spec.name: stub_result(spec.name, cycle_fn(config)) for spec in all_specs()}
+    def fake(configs, workloads=None, cache=None, max_workers=None, progress=None):
+        return [
+            {spec.name: stub_result(spec.name, cycle_fn(config)) for spec in all_specs()}
+            for config in configs
+        ]
 
     return fake
 
@@ -50,7 +53,7 @@ class TestTopologyStudy:
         def cycles(config):
             return 800.0 if config.topology == "fully_connected" else 1000.0
 
-        monkeypatch.setattr(topology_study, "run_suite", stub_run_suite(cycles))
+        monkeypatch.setattr(topology_study, "run_suites", stub_run_suite(cycles))
         points = topology_study.run_topology_study()
         assert points["baseline"].overall == pytest.approx(1.25)
         assert points["optimized"].overall == pytest.approx(1.25)
@@ -63,7 +66,7 @@ class TestTopologyStudy:
             seen.append((config.topology, config.link_bandwidth))
             return 1000.0
 
-        monkeypatch.setattr(topology_study, "run_suite", stub_run_suite(cycles))
+        monkeypatch.setattr(topology_study, "run_suites", stub_run_suite(cycles))
         topology_study.run_topology_study(link_setting=768.0)
         fc_settings = {bw for topo, bw in seen if topo == "fully_connected"}
         assert len(fc_settings) == 1
@@ -72,7 +75,7 @@ class TestTopologyStudy:
 
 class TestGPMScaling:
     def test_reference_point_is_unity(self, monkeypatch):
-        monkeypatch.setattr(gpm_scaling, "run_suite", stub_run_suite(lambda config: 100.0))
+        monkeypatch.setattr(gpm_scaling, "run_suites", stub_run_suite(lambda config: 100.0))
         points = gpm_scaling.run_gpm_scaling((2, 4, 8))
         by_count = {p.n_gpms: p for p in points}
         assert by_count[4].baseline_speedup == pytest.approx(1.0)
@@ -89,7 +92,7 @@ class TestGPMScaling:
         assert config.total_dram_bandwidth == pytest.approx(3072.0)
 
     def test_rejects_non_divisor(self, monkeypatch):
-        monkeypatch.setattr(gpm_scaling, "run_suite", stub_run_suite(lambda config: 1.0))
+        monkeypatch.setattr(gpm_scaling, "run_suites", stub_run_suite(lambda config: 1.0))
         with pytest.raises(ValueError, match="divide"):
             gpm_scaling.run_gpm_scaling((3,))
 
@@ -106,7 +109,7 @@ class TestSchedulerAblation:
                 config.scheduler
             ]
 
-        monkeypatch.setattr(ablation_scheduler, "run_suite", stub_run_suite(cycles))
+        monkeypatch.setattr(ablation_scheduler, "run_suites", stub_run_suite(cycles))
         ablation = ablation_scheduler.run_scheduler_ablation()
         assert ablation.overall["distributed"] == pytest.approx(1.25)
         assert ablation.overall["dynamic"] == pytest.approx(1000 / 750)
@@ -118,7 +121,7 @@ class TestPageSizeAblation:
         def cycles(config):
             return 1000.0 if config.page_bytes == 2048 else 1100.0
 
-        monkeypatch.setattr(ablation_page_size, "run_suite", stub_run_suite(cycles))
+        monkeypatch.setattr(ablation_page_size, "run_suites", stub_run_suite(cycles))
         points = ablation_page_size.run_page_size_ablation((1024, 2048))
         by_size = {p.page_bytes: p for p in points}
         assert by_size[2048].speedup == pytest.approx(1.0)

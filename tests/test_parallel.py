@@ -1,0 +1,254 @@
+"""Tests for the parallel suite runner and the concurrent-safe cache."""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core.presets import baseline_mcm_gpu
+from repro.experiments.common import ResultCache, _run_suite_serial, run_suites
+from repro.memory.cache import CacheStats
+from repro.parallel import runner
+from repro.parallel.metrics import SuiteMetrics
+from repro.parallel.runner import resolve_workers, run_suite_parallel
+from repro.sim.result import SimResult
+from repro.workloads.synthetic import Category, SyntheticWorkload, WorkloadSpec
+
+
+def tiny_workload(name, pattern="streaming", n_ctas=16):
+    return SyntheticWorkload(
+        WorkloadSpec(
+            name=name,
+            category=Category.M_INTENSIVE,
+            pattern=pattern,
+            n_ctas=n_ctas,
+            groups_per_cta=2,
+            records_per_group=2,
+            accesses_per_record=2,
+            kernel_iterations=1,
+            footprint_bytes=256 * 1024,
+        )
+    )
+
+
+def tiny_workloads():
+    return [
+        tiny_workload("p-w1"),
+        tiny_workload("p-w2", pattern="hotset"),
+        tiny_workload("p-w3", n_ctas=24),
+        tiny_workload("p-w4", pattern="stencil"),
+    ]
+
+
+def tiny_configs():
+    return [
+        baseline_mcm_gpu(n_gpms=4, sms_per_gpm=2),
+        baseline_mcm_gpu(n_gpms=4, sms_per_gpm=2, link_bandwidth=384.0),
+    ]
+
+
+class TestResolveWorkers:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers() == 5
+
+    def test_clamps_to_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert resolve_workers() == 1
+        assert resolve_workers(-4) == 1
+
+    def test_malformed_env_falls_back_to_cores(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        assert resolve_workers() == (os.cpu_count() or 1)
+
+    def test_default_is_core_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers() == (os.cpu_count() or 1)
+
+
+class TestParallelMatchesSerial:
+    def test_bit_identical_on_cold_cache(self):
+        workloads = tiny_workloads()
+        configs = tiny_configs()
+        serial = [_run_suite_serial(config, workloads, None) for config in configs]
+        parallel = run_suite_parallel(
+            configs, workloads=workloads, max_workers=4, cache=None
+        )
+        assert len(parallel) == len(serial)
+        for serial_map, parallel_map in zip(serial, parallel):
+            assert list(serial_map) == list(parallel_map)  # same iteration order
+            for name in serial_map:
+                assert serial_map[name].to_dict() == parallel_map[name].to_dict()
+
+    def test_single_config_shape(self):
+        [results] = run_suite_parallel(
+            tiny_configs()[:1], workloads=tiny_workloads(), max_workers=2, cache=None
+        )
+        assert set(results) == {"p-w1", "p-w2", "p-w3", "p-w4"}
+
+    def test_duplicate_configs_simulated_once(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = tiny_configs()[0]
+        workloads = tiny_workloads()
+        first, second = run_suite_parallel(
+            [config, config], workloads=workloads, max_workers=2, cache=cache
+        )
+        for name in first:
+            assert first[name].to_dict() == second[name].to_dict()
+        # The pair is deduplicated before dispatch: one cache entry per
+        # workload, not per output slot.
+        assert len(ResultCache(tmp_path)) == len(workloads)
+
+    def test_progress_callback(self):
+        seen = []
+        run_suite_parallel(
+            tiny_configs()[:1],
+            workloads=tiny_workloads(),
+            max_workers=2,
+            cache=None,
+            progress=lambda done, total, result: seen.append((done, total)),
+        )
+        assert len(seen) == 4
+        assert seen[-1] == (4, 4)
+        assert [done for done, _ in seen] == [1, 2, 3, 4]
+
+
+class TestParallelCache:
+    def test_workers_persist_shards(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_suite_parallel(
+            tiny_configs(), workloads=tiny_workloads(), max_workers=3, cache=cache
+        )
+        shards = list(tmp_path.glob("results-w*.jsonl"))
+        assert shards, "workers should write per-process shard files"
+        fresh = ResultCache(tmp_path)
+        assert len(fresh) == 8  # 4 workloads x 2 configs, no lost entries
+
+    def test_warm_cache_skips_dispatch(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = run_suite_parallel(
+            tiny_configs(), workloads=tiny_workloads(), max_workers=3, cache=cache
+        )
+        warm_cache = ResultCache(tmp_path)
+        warm = run_suite_parallel(
+            tiny_configs(), workloads=tiny_workloads(), max_workers=3, cache=warm_cache
+        )
+        assert warm_cache.hits == 8
+        assert warm_cache.misses == 0
+        for cold_map, warm_map in zip(cold, warm):
+            for name in cold_map:
+                assert cold_map[name].to_dict() == warm_map[name].to_dict()
+
+
+def _stub_result(tag, index):
+    return SimResult(
+        workload_name=f"wl-{tag}-{index}",
+        system_name="stub",
+        cycles=float(index + 1),
+        kernels=1,
+        ctas=1,
+        records=1,
+        loads=1,
+        stores=0,
+        remote_loads=0,
+        remote_stores=0,
+        l1=CacheStats(),
+        l15=CacheStats(),
+        l2=CacheStats(),
+        dram_bytes_read=0,
+        dram_bytes_written=0,
+        link_bytes=0,
+        page_local=0,
+        page_remote=0,
+        workload_digest=f"wl-{tag}-{index}",
+        system_digest="sys",
+    )
+
+
+def _hammer_cache(directory, tag, count):
+    cache = ResultCache(directory)
+    for index in range(count):
+        cache.put(_stub_result(tag, index))
+
+
+class TestConcurrentWriters:
+    def test_no_lost_entries_across_processes(self, tmp_path):
+        processes = [
+            multiprocessing.Process(target=_hammer_cache, args=(tmp_path, tag, 25))
+            for tag in ("a", "b", "c", "d")
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join()
+            assert process.exitcode == 0
+        # Every line parses and every entry survives.
+        with open(tmp_path / "results.jsonl") as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 100
+        for line in lines:
+            json.loads(line)
+        assert len(ResultCache(tmp_path)) == 100
+
+    def test_shard_writers_share_namespace(self, tmp_path):
+        for shard in ("s1", "s2"):
+            cache = ResultCache(tmp_path, shard=shard)
+            cache.put(_stub_result(shard, 0))
+            assert cache.path.name == f"results-{shard}.jsonl"
+        merged = ResultCache(tmp_path)
+        assert len(merged) == 2
+
+    def test_duplicate_entries_tolerated(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_stub_result("dup", 0))
+        cache.put(_stub_result("dup", 0))
+        assert len(ResultCache(tmp_path)) == 1
+
+
+class TestSerialFallback:
+    def test_repro_workers_1_uses_serial_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+
+        def boom(*args, **kwargs):
+            raise AssertionError("parallel runner must not be used at 1 worker")
+
+        monkeypatch.setattr(runner, "run_suite_parallel", boom)
+        results = run_suites(
+            tiny_configs()[:1], workloads=tiny_workloads()[:2], cache=None
+        )
+        assert set(results[0]) == {"p-w1", "p-w2"}
+
+    def test_run_suites_parallel_when_forced(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        results = run_suites(tiny_configs()[:1], workloads=tiny_workloads()[:2], cache=None)
+        assert set(results[0]) == {"p-w1", "p-w2"}
+
+
+class TestMetrics:
+    def test_counters_and_report(self):
+        metrics = SuiteMetrics()
+        metrics.record_batch(configs=["a", "b"], total=96, cached=48, wall=4.0, workers=4)
+        metrics.record_sim("a", 1.5)
+        metrics.record_sim("a", 0.5)
+        metrics.record_sim("b", 1.0)
+        assert metrics.executed_pairs == 48
+        assert metrics.hit_rate == pytest.approx(0.5)
+        assert metrics.sims_per_second == pytest.approx(12.0)
+        text = metrics.report()
+        assert "96 sims" in text
+        assert "hit rate 50%" in text
+        assert "a: 2 sims" in text
+
+    def test_empty_report(self):
+        assert "no suite runs" in SuiteMetrics().report()
+
+    def test_reset(self):
+        metrics = SuiteMetrics()
+        metrics.record_batch(configs=["a"], total=1, cached=0, wall=1.0, workers=1)
+        metrics.reset()
+        assert metrics.total_pairs == 0
