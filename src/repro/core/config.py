@@ -25,9 +25,12 @@ MEMORY_SCALE = 1.0 / 32.0
 CLOCK_HZ = 1.0e9
 
 #: Bumped whenever a timing-model constant changes (packet overheads,
-#: channel structure, ...).  Included in configuration digests so the disk
-#: result cache never serves results from an older model.
-MODEL_REV = 5
+#: channel structure, ...) or engine scheduling order changes (rev 6:
+#: ``_launch`` refills an empty CTA's slot greedily on the same SM, which
+#: moves CTA placement for kernels whose initial wave has empty traces).
+#: Included in configuration digests so the disk result cache never
+#: serves results from an older model.
+MODEL_REV = 6
 
 
 def scaled_bytes(full_size_bytes: int, scale: float = MEMORY_SCALE) -> int:

@@ -247,22 +247,29 @@ def run_suites(
     start = time.time()
     hits_before = cache.hits if cache is not None else 0
     results: List[Dict[str, SimResult]]
+    total = len(configs) * len(workload_list)
     if workers > 1:
+        # The parallel runner deduplicates (workload, config) pairs and
+        # calls cache.get once per unique pair, so the hits delta would
+        # undercount duplicated output slots; it reports the per-slot
+        # count itself.
+        stats: Dict[str, int] = {}
         results = _runner.run_suite_parallel(
             configs,
             workloads=workload_list,
             max_workers=workers,
             cache=cache,
             progress=progress,
+            stats=stats,
         )
+        cached = stats.get("cached_slots", 0)
     else:
         results = [
             _run_suite_serial(config, workload_list, cache, progress)
             for config in configs
         ]
-    hits_after = cache.hits if cache is not None else 0
-    total = len(configs) * len(workload_list)
-    cached = hits_after - hits_before
+        hits_after = cache.hits if cache is not None else 0
+        cached = hits_after - hits_before
     _metrics.GLOBAL_METRICS.record_batch(
         configs=[config.name for config in configs],
         total=total,
@@ -279,19 +286,28 @@ def _run_suite_serial(
     cache: Optional[ResultCache],
     progress=None,
 ) -> Dict[str, SimResult]:
-    """The classic serial loop: one reused simulator, workloads in order."""
+    """The classic serial loop: one reused simulator, workloads in order.
+
+    ``progress`` follows the parallel runner's convention: ``total``
+    counts only the pairs actually simulated, so a cache-hit pass never
+    reports ``done < total`` at completion.
+    """
     from ..parallel import metrics as _metrics
 
     workload_list = list(workloads)
+    config_digest = config.digest()
     results: Dict[str, SimResult] = {}
-    simulator: Optional[Simulator] = None
-    done = 0
+    misses: List[Workload] = []
     for workload in workload_list:
-        digest = workload.digest()
-        cached = cache.get(digest, config.digest()) if cache is not None else None
+        cached = cache.get(workload.digest(), config_digest) if cache is not None else None
         if cached is not None:
             results[workload.name] = cached
-            continue
+        else:
+            misses.append(workload)
+
+    simulator: Optional[Simulator] = None
+    done = 0
+    for workload in misses:
         if simulator is None:
             simulator = Simulator(config)
         sim_start = time.time()
@@ -302,8 +318,12 @@ def _run_suite_serial(
         results[workload.name] = result
         done += 1
         if progress is not None:
-            progress(done, len(workload_list), result)
-    return results
+            progress(done, len(misses), result)
+    return {
+        workload.name: results[workload.name]
+        for workload in workload_list
+        if workload.name in results
+    }
 
 
 def category_of(workloads: Iterable[SyntheticWorkload]) -> Dict[str, Category]:

@@ -120,6 +120,7 @@ def run_suite_parallel(
     max_workers: Optional[int] = None,
     cache=None,
     progress=None,
+    stats: Optional[Dict[str, int]] = None,
 ) -> List[Dict[str, SimResult]]:
     """Simulate every (workload, config) pair over a process pool.
 
@@ -133,7 +134,11 @@ def run_suite_parallel(
     persist misses to per-process shards of the same cache directory, and
     the coordinator absorbs returned results in memory.  ``progress``,
     when given, is called as ``progress(done, total, result)`` after each
-    simulated pair.
+    simulated pair.  ``stats``, when given a dict, receives a
+    ``"cached_slots"`` entry: the number of output slots filled without a
+    dedicated simulation (cache hits plus duplicate-pair fan-outs), which
+    the batch accounting needs because duplicated configurations make the
+    slot count exceed the unique-pair count.
     """
     configs = list(configs)
     workload_list = list(workloads) if workloads is not None else suite_workloads()
@@ -142,6 +147,9 @@ def run_suite_parallel(
     merged: List[Dict[str, SimResult]] = [dict() for _ in configs]
     # pair key -> list of (config slot, workload name) output positions
     sinks: Dict[str, List[Tuple[int, str]]] = {}
+    # pair key -> cached result, fanned out only after the scan completes
+    # (a duplicate slot may register in sinks[key] after the cache hit)
+    resolved: Dict[str, SimResult] = {}
     # pair key -> (payload, config) for pairs that must be simulated
     pending: Dict[str, Tuple[object, SystemConfig]] = {}
     local: List[Tuple[str, Workload, SystemConfig]] = []
@@ -156,7 +164,7 @@ def run_suite_parallel(
             sinks[key] = [(slot, workload.name)]
             cached = cache.get(workload.digest(), config_digest) if cache is not None else None
             if cached is not None:
-                _fan_out(merged, sinks[key], cached)
+                resolved[key] = cached
                 continue
             payload = _shippable(workload)
             if payload is None:
@@ -164,8 +172,15 @@ def run_suite_parallel(
             else:
                 pending[key] = (payload, config)
 
+    for key, cached in resolved.items():
+        _fan_out(merged, sinks[key], cached)
+
     total = len(pending) + len(local)
     done = 0
+    if stats is not None:
+        # Output slots served without a dedicated simulation: cache hits
+        # plus duplicate slots of deduplicated pairs.
+        stats["cached_slots"] = len(configs) * len(workload_list) - total
 
     def _record(key: str, result: SimResult) -> None:
         nonlocal done

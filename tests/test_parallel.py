@@ -117,6 +117,46 @@ class TestParallelMatchesSerial:
         assert seen[-1] == (4, 4)
         assert [done for done, _ in seen] == [1, 2, 3, 4]
 
+    def test_warm_cache_fills_duplicate_slots(self, tmp_path):
+        # Regression: a cached pair serving several output slots must fan
+        # out to slots registered *after* the cache hit during the scan.
+        config = tiny_configs()[0]
+        workloads = tiny_workloads()
+        cold = run_suite_parallel(
+            [config, config], workloads=workloads, max_workers=2,
+            cache=ResultCache(tmp_path),
+        )
+        warm = run_suite_parallel(
+            [config, config], workloads=workloads, max_workers=2,
+            cache=ResultCache(tmp_path),
+        )
+        names = {workload.name for workload in workloads}
+        for results in (*cold, *warm):
+            assert set(results) == names
+        for cold_map, warm_map in zip(cold, warm):
+            for name in names:
+                assert cold_map[name].to_dict() == warm_map[name].to_dict()
+
+    def test_serial_progress_counts_only_simulated(self, tmp_path):
+        # Serial and parallel paths share one convention: total == pairs
+        # actually simulated, so done reaches total on a partly warm cache.
+        config = tiny_configs()[0]
+        workloads = tiny_workloads()
+        _run_suite_serial(config, workloads[:2], ResultCache(tmp_path))
+        seen = []
+        _run_suite_serial(
+            config, workloads, ResultCache(tmp_path),
+            progress=lambda done, total, result: seen.append((done, total)),
+        )
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_serial_warm_cache_preserves_workload_order(self, tmp_path):
+        config = tiny_configs()[0]
+        workloads = tiny_workloads()
+        _run_suite_serial(config, workloads[2:], ResultCache(tmp_path))
+        results = _run_suite_serial(config, workloads, ResultCache(tmp_path))
+        assert list(results) == [workload.name for workload in workloads]
+
 
 class TestParallelCache:
     def test_workers_persist_shards(self, tmp_path):
@@ -227,6 +267,29 @@ class TestSerialFallback:
         monkeypatch.setenv("REPRO_WORKERS", "2")
         results = run_suites(tiny_configs()[:1], workloads=tiny_workloads()[:2], cache=None)
         assert set(results[0]) == {"p-w1", "p-w2"}
+
+
+class TestBatchAccounting:
+    def test_duplicate_configs_count_per_slot(self, tmp_path, monkeypatch):
+        # Regression: with duplicated configs the parallel runner calls
+        # cache.get once per unique pair; batch accounting must still
+        # count cached/executed per output slot (executed == sims run).
+        from repro.parallel import metrics as metrics_mod
+
+        fresh = SuiteMetrics()
+        monkeypatch.setattr(metrics_mod, "GLOBAL_METRICS", fresh)
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        config = tiny_configs()[0]
+        workloads = tiny_workloads()
+        run_suites([config, config], workloads=workloads, cache=ResultCache(tmp_path))
+        assert fresh.total_pairs == 8
+        assert fresh.cached_pairs == 4  # the duplicated slots
+        assert fresh.executed_pairs == 4  # sims actually run
+
+        run_suites([config, config], workloads=workloads, cache=ResultCache(tmp_path))
+        assert fresh.total_pairs == 16
+        assert fresh.cached_pairs == 12  # warm run adds 8 cached slots
+        assert fresh.executed_pairs == 4
 
 
 class TestMetrics:
