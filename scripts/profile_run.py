@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Profile one workload on one preset and export its telemetry.
+
+Usage:
+    python scripts/profile_run.py                       # list presets/workloads
+    python scripts/profile_run.py Stream baseline --trace out.json
+    python scripts/profile_run.py Streamcluster optimized \\
+        --trace trace.json --timeline timeline.json --window 2048
+
+Runs the pair once with a telemetry probe attached (bypassing the result
+cache — profiling wants a live run), prints the plain-text report, and
+optionally writes a Perfetto-loadable Chrome trace (``--trace``) and/or a
+raw JSON timeline (``--timeline``).  Open the trace at
+https://ui.perfetto.dev or chrome://tracing.
+"""
+
+import argparse
+import sys
+
+from repro.core import presets
+from repro.sim.simulator import Simulator
+from repro.telemetry import (
+    Telemetry,
+    text_report,
+    write_chrome_trace,
+    write_json_timeline,
+)
+from repro.workloads.suite import all_specs, make_workload
+
+#: Preset name -> zero-argument configuration factory.
+PRESETS = {
+    "baseline": presets.baseline_mcm_gpu,
+    "l15": presets.mcm_gpu_with_l15,
+    "optimized": presets.optimized_mcm_gpu,
+    "monolithic": presets.monolithic_gpu,
+    "multi-gpu": presets.multi_gpu,
+}
+
+
+def _list() -> None:
+    print("presets:")
+    for name, factory in PRESETS.items():
+        print(f"  {name:<12} {factory().name}")
+    print("\nworkloads:")
+    names = [spec.name for spec in all_specs()]
+    for start in range(0, len(names), 6):
+        print("  " + ", ".join(names[start : start + 6]))
+
+
+def main() -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description="Profile one simulation run.")
+    parser.add_argument("workload", nargs="?", help="suite workload name")
+    parser.add_argument("preset", nargs="?", help=f"one of: {', '.join(PRESETS)}")
+    parser.add_argument("--trace", metavar="PATH", help="write a Chrome trace file")
+    parser.add_argument("--timeline", metavar="PATH", help="write the raw JSON timeline")
+    parser.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        metavar="CYCLES",
+        help="sampling window in cycles (default 4096)",
+    )
+    opts = parser.parse_args()
+
+    if not opts.workload or not opts.preset:
+        _list()
+        return 0
+    if opts.preset not in PRESETS:
+        print(
+            f"unknown preset {opts.preset!r}; choose from: {', '.join(PRESETS)}",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        workload = make_workload(opts.workload)
+    except KeyError:
+        print(f"unknown workload {opts.workload!r}", file=sys.stderr)
+        return 1
+
+    telemetry = Telemetry() if opts.window is None else Telemetry(opts.window)
+    config = PRESETS[opts.preset]()
+    result = Simulator(config, telemetry=telemetry).run(workload)
+
+    print(result.summary())
+    print()
+    print(text_report(telemetry))
+    if opts.trace:
+        write_chrome_trace(telemetry, opts.trace)
+        print(f"\nchrome trace written to {opts.trace} (open in Perfetto)")
+    if opts.timeline:
+        write_json_timeline(telemetry, opts.timeline)
+        print(f"timeline written to {opts.timeline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

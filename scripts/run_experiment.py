@@ -10,7 +10,10 @@ Results come from the shared disk cache when available, so re-running an
 experiment after a benchmark session is instant.  Suite runs fan out over
 a process pool sized by ``--workers`` / ``REPRO_WORKERS`` (default: core
 count); each experiment prints its throughput summary (sims/sec, cache
-hit rate, per-config sim time) when it finishes.
+hit rate, per-config sim time) when it finishes.  ``--profile`` attaches
+a telemetry probe to every simulated run and folds per-run digests (peak
+pipe occupancy, quiesce tails) into that summary; for a deep profile of
+one run use ``scripts/profile_run.py``.
 """
 
 import argparse
@@ -53,12 +56,23 @@ def main() -> int:
         help="process-pool size for suite runs (overrides REPRO_WORKERS; "
         "1 forces the serial path)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach a telemetry probe to every simulated run and append "
+        "per-run profiling digests to the throughput summary (cached "
+        "pairs are not re-simulated, so they carry no profile; use "
+        "REPRO_NO_CACHE=1 to profile everything)",
+    )
     parser.add_argument("experiments", nargs="*", metavar="id")
     opts = parser.parse_args()
-    if opts.workers is not None:
+    if opts.workers is not None or opts.profile:
         import os
 
-        os.environ["REPRO_WORKERS"] = str(opts.workers)
+        if opts.workers is not None:
+            os.environ["REPRO_WORKERS"] = str(opts.workers)
+        if opts.profile:
+            os.environ["REPRO_PROFILE"] = "1"
 
     args = opts.experiments
     if not args:

@@ -25,6 +25,7 @@ from .core.presets import (
 )
 from .sim.result import SimResult
 from .sim.simulator import Simulator, simulate
+from .telemetry import Telemetry
 from .workloads.suite import all_specs, make_workload, suite_workloads
 from .workloads.synthetic import Category, SyntheticWorkload, WorkloadSpec
 
@@ -46,6 +47,7 @@ __all__ = [
     "optimized_mcm_gpu",
     "SimResult",
     "Simulator",
+    "Telemetry",
     "simulate",
     "all_specs",
     "make_workload",

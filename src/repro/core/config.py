@@ -27,10 +27,13 @@ CLOCK_HZ = 1.0e9
 #: Bumped whenever a timing-model constant changes (packet overheads,
 #: channel structure, ...) or engine scheduling order changes (rev 6:
 #: ``_launch`` refills an empty CTA's slot greedily on the same SM, which
-#: moves CTA placement for kernels whose initial wave has empty traces).
-#: Included in configuration digests so the disk result cache never
-#: serves results from an older model.
-MODEL_REV = 6
+#: moves CTA placement for kernels whose initial wave has empty traces;
+#: rev 7: antipodal ring routes tie-break by source parity instead of
+#: always clockwise, which moves half the opposite-corner traffic onto the
+#: previously idle direction on even-sized rings).  Included in
+#: configuration digests so the disk result cache never serves results
+#: from an older model.
+MODEL_REV = 7
 
 
 def scaled_bytes(full_size_bytes: int, scale: float = MEMORY_SCALE) -> int:

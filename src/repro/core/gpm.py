@@ -89,10 +89,10 @@ class GPM:
         for sm in self.sms:
             sm.reset()
         self.l2.flush()
-        self.l2.stats.__init__()
+        self.l2.reset_stats()
         if self.l15 is not None:
             self.l15.flush()
-            self.l15.stats.__init__()
+            self.l15.reset_stats()
         self.dram.reset()
         self.xbar.reset()
 

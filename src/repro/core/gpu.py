@@ -51,6 +51,10 @@ class GPUSystem:
             self.gpms.append(GPM(gpm_id, config.gpm, next_sm_id))
             next_sm_id += config.gpm.n_sms
         self.memsys = MemorySystem(self)
+        #: Optional :class:`~repro.telemetry.probe.Telemetry` probe.  None
+        #: (the default) means no recording and no hot-path work; the
+        #: engine reads this once per run.
+        self.telemetry = None
 
     @property
     def n_gpms(self) -> int:
@@ -81,6 +85,14 @@ class GPUSystem:
                 if slot < len(sms):
                     ordered.append(sms[slot])
         return ordered
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Attach a telemetry probe to subsequent runs (None detaches).
+
+        The probe only reads simulator state, so attaching one never
+        changes simulation results.
+        """
+        self.telemetry = telemetry
 
     def kernel_boundary_flush(self) -> None:
         """Flush the software-coherent levels (L1, L1.5) on all modules."""

@@ -197,6 +197,14 @@ class MemorySystem:
         """Total loads and stores observed."""
         return self.loads + self.stores
 
+    def counter_snapshot(self):
+        """``(loads, stores, remote_loads, remote_stores)`` right now.
+
+        Telemetry samples this at window boundaries to form per-window
+        deltas; it is read-only and never touches timing state.
+        """
+        return (self.loads, self.stores, self.remote_loads, self.remote_stores)
+
     @property
     def remote_fraction(self) -> float:
         """Fraction of L1-missing traffic whose home partition was remote."""

@@ -36,6 +36,7 @@ class SM:
         "clock",
         "free_cta_slots",
         "ctas_launched",
+        "issue_busy_cycles",
     )
 
     def __init__(self, sm_id: int, gpm_id: int, config: SMConfig) -> None:
@@ -54,6 +55,9 @@ class SM:
         self.clock = 0.0
         self.free_cta_slots = config.max_resident_ctas
         self.ctas_launched = 0
+        #: Cycles the issue ports have been occupied; ``busy / elapsed`` is
+        #: the SM's issue utilization (sampled per window by telemetry).
+        self.issue_busy_cycles = 0.0
 
     def occupy_slot(self) -> None:
         """Claim one CTA slot; the scheduler must check availability first."""
@@ -75,15 +79,18 @@ class SM:
         warp schedulers, so a batch holds the ports for
         ``n_instructions / issue_throughput`` cycles.
         """
-        self.clock = start + n_instructions / self.issue_throughput
+        busy = n_instructions / self.issue_throughput
+        self.clock = start + busy
+        self.issue_busy_cycles += busy
 
     def reset(self) -> None:
         """Clear timing state and the L1 between simulations."""
         self.clock = 0.0
         self.free_cta_slots = self.config.max_resident_ctas
         self.ctas_launched = 0
+        self.issue_busy_cycles = 0.0
         self.l1.flush()
-        self.l1.stats.__init__()
+        self.l1.reset_stats()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SM(sm_id={self.sm_id}, gpm={self.gpm_id}, clock={self.clock:.0f})"

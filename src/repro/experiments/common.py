@@ -309,10 +309,16 @@ def _run_suite_serial(
     done = 0
     for workload in misses:
         if simulator is None:
-            simulator = Simulator(config)
+            from ..parallel.runner import profiling_enabled
+            from ..telemetry import Telemetry
+
+            telemetry = Telemetry() if profiling_enabled() else None
+            simulator = Simulator(config, telemetry=telemetry)
         sim_start = time.time()
         result = simulator.run(workload)
         _metrics.GLOBAL_METRICS.record_sim(result.system_name, time.time() - sim_start)
+        if simulator.telemetry is not None:
+            _metrics.GLOBAL_METRICS.record_telemetry(simulator.telemetry.summary())
         if cache is not None:
             cache.put(result)
         results[workload.name] = result

@@ -99,7 +99,13 @@ class RingNetwork:
         counter_hops = self.n_nodes - clockwise_hops
         path: List[Link] = []
         node = src
-        if clockwise_hops <= counter_hops:
+        # Antipodal pairs on an even ring have no shortest direction; break
+        # the tie by source parity so opposite-corner traffic from different
+        # sources spreads over both directions instead of piling onto the
+        # clockwise half while the counter-clockwise links idle.
+        if clockwise_hops < counter_hops or (
+            clockwise_hops == counter_hops and src % 2 == 0
+        ):
             for _ in range(clockwise_hops):
                 path.append(self._links[node][CLOCKWISE])
                 node = (node + 1) % self.n_nodes

@@ -98,6 +98,8 @@ class BandwidthPipe:
         if new_occupancy <= capacity:
             used[bucket] = new_occupancy
             finish = (bucket + new_occupancy / capacity) * bucket_cycles
+            if new_occupancy >= capacity and bucket == self._full_prefix:
+                self._advance_full_prefix(bucket + 1)
         else:
             remaining = float(n_bytes)
             while True:
@@ -109,6 +111,8 @@ class BandwidthPipe:
                     remaining -= take
                     if remaining <= 0.0:
                         finish = (bucket + occupied / capacity) * bucket_cycles
+                        if occupied >= capacity and bucket == self._full_prefix:
+                            self._advance_full_prefix(bucket + 1)
                         break
                 if occupied >= capacity and bucket == self._full_prefix:
                     self._full_prefix = bucket + 1
@@ -122,11 +126,45 @@ class BandwidthPipe:
             self.busy_until = finish
         return finish
 
+    def _advance_full_prefix(self, start: int) -> None:
+        """Move ``_full_prefix`` to ``start``, then past any contiguous run
+        of already-full buckets (filled earlier by out-of-order charges)."""
+        used = self._used
+        capacity = self.bucket_capacity
+        prefix = start
+        while used.get(prefix, 0.0) >= capacity:
+            prefix += 1
+        self._full_prefix = prefix
+
     def utilization(self, elapsed_cycles: float) -> float:
         """Fraction of peak bandwidth consumed over ``elapsed_cycles``."""
         if elapsed_cycles <= 0:
             return 0.0
         return self.bytes_transferred / (self.bytes_per_cycle * elapsed_cycles)
+
+    def occupancy_windows(self, window_cycles: float):
+        """Reserved bytes per time window, read straight from the bucket map.
+
+        The bucket map *is* the pipe's time series: bucket ``i`` holds the
+        bytes reserved for delivery in ``[i, i+1) * bucket_cycles``.  This
+        aggregates it into coarser windows of ``window_cycles`` and returns
+        a sorted list of ``(window_start_cycle, bytes)`` pairs, skipping
+        empty windows.  Telemetry reads this after a run completes, so the
+        hot path carries no extra bookkeeping.
+        """
+        if window_cycles <= 0:
+            raise ValueError(f"window_cycles must be positive, got {window_cycles}")
+        if not self._used:
+            return []
+        buckets_per_window = window_cycles / self.bucket_cycles
+        windows: dict = {}
+        for bucket, occupied in self._used.items():
+            window = int(bucket / buckets_per_window)
+            windows[window] = windows.get(window, 0.0) + occupied
+        return [
+            (window * window_cycles, occupied)
+            for window, occupied in sorted(windows.items())
+        ]
 
     def reset(self) -> None:
         """Clear timing and counters (used when re-running on one system)."""

@@ -207,8 +207,12 @@ class SetAssocCache:
 
         Models the software-coherence flush at kernel boundaries
         (Section 5.1.1).  Write-through caches never hold dirty lines, so the
-        returned list is empty for them.
+        returned list is empty for them.  A disabled (zero-capacity) cache
+        holds nothing and counts nothing: its ``flushes`` stat stays zero so
+        telemetry never reports phantom activity for an absent level.
         """
+        if not self._sets:
+            return []
         dirty_lines: List[int] = []
         for cache_set in self._sets:
             dirty_lines.extend(addr for addr, dirty in cache_set.items() if dirty)
@@ -216,6 +220,15 @@ class SetAssocCache:
         self.stats.flushes += 1
         self.stats.writebacks += len(dirty_lines)
         return dirty_lines
+
+    def reset_stats(self) -> None:
+        """Zero all counters without touching cache contents.
+
+        The proper way to start a fresh measurement window or simulation:
+        replaces the ad-hoc ``stats.__init__()`` calls previously scattered
+        through reset paths.
+        """
+        self.stats = CacheStats()
 
     def resident_lines(self) -> int:
         """Number of valid lines currently held."""

@@ -23,11 +23,12 @@ rendered by the experiment scripts after each run.
 """
 
 from .metrics import GLOBAL_METRICS, SuiteMetrics
-from .runner import resolve_workers, run_suite_parallel
+from .runner import profiling_enabled, resolve_workers, run_suite_parallel
 
 __all__ = [
     "GLOBAL_METRICS",
     "SuiteMetrics",
+    "profiling_enabled",
     "resolve_workers",
     "run_suite_parallel",
 ]

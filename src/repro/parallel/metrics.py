@@ -27,6 +27,7 @@ class SuiteMetrics:
         self.configs: List[str] = []
         self.sim_seconds_by_config: Dict[str, float] = {}
         self.sims_by_config: Dict[str, int] = {}
+        self.telemetry_summaries: List[Dict[str, object]] = []
 
     # ------------------------------------------------------------------
 
@@ -53,6 +54,16 @@ class SuiteMetrics:
             self.sim_seconds_by_config.get(config_name, 0.0) + sim_seconds
         )
         self.sims_by_config[config_name] = self.sims_by_config.get(config_name, 0) + 1
+
+    def record_telemetry(self, summary: Dict[str, object]) -> None:
+        """Absorb one run's telemetry digest (see ``Telemetry.summary``).
+
+        Worker processes produce these under ``REPRO_PROFILE=1`` and ship
+        them back with the result; the coordinator (or the serial loop)
+        records them here so the end-of-experiment report can rank hot
+        runs without holding full timelines in memory.
+        """
+        self.telemetry_summaries.append(dict(summary))
 
     # ------------------------------------------------------------------
 
@@ -91,6 +102,24 @@ class SuiteMetrics:
             ):
                 count = self.sims_by_config.get(name, 0)
                 lines.append(f"  {name}: {count} sims, {seconds:.1f}s sim time")
+        if self.telemetry_summaries:
+            lines.append(
+                f"  profiled {len(self.telemetry_summaries)} runs; "
+                "hottest by peak pipe occupancy:"
+            )
+            ranked = sorted(
+                self.telemetry_summaries,
+                key=lambda s: -float(s.get("peak_pipe_occupancy", 0.0)),
+            )
+            for summary in ranked[:5]:
+                lines.append(
+                    f"    {summary.get('workload', '?')} on "
+                    f"{summary.get('system', '?')}: "
+                    f"{summary.get('peak_pipe', '-') or '-'} at "
+                    f"{float(summary.get('peak_pipe_occupancy', 0.0)):.0%}, "
+                    f"quiesce tail "
+                    f"{float(summary.get('quiesce_tail_cycles', 0.0)):,.0f} cyc"
+                )
         return "\n".join(lines)
 
 

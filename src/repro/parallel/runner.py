@@ -25,9 +25,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.config import SystemConfig
 from ..sim.result import SimResult
 from ..sim.simulator import Simulator
+from ..telemetry import Telemetry
 from ..workloads.suite import suite_workloads
 from ..workloads.synthetic import SyntheticWorkload, WorkloadSpec
 from ..workloads.trace import Workload
+
+
+def profiling_enabled() -> bool:
+    """True when ``REPRO_PROFILE`` asks runs to carry a telemetry probe.
+
+    Read per task (not cached) so scripts can flip profiling on after
+    import; worker processes inherit the coordinator's environment.
+    """
+    return os.environ.get("REPRO_PROFILE", "") not in ("", "0")
 
 # ----------------------------------------------------------------------
 # Worker-process state
@@ -59,20 +69,31 @@ def _revive_workload(payload) -> Workload:
     return payload
 
 
-def _run_task(payload, config: SystemConfig) -> Tuple[SimResult, float]:
-    """Worker entry point: simulate one pair, reusing per-config simulators."""
+def _run_task(payload, config: SystemConfig) -> Tuple[SimResult, float, Optional[dict]]:
+    """Worker entry point: simulate one pair, reusing per-config simulators.
+
+    Returns ``(result, sim_seconds, telemetry_summary)``; the summary is
+    None unless profiling is enabled (``REPRO_PROFILE=1``), in which case
+    the run carries a probe and ships its compact digest back to the
+    coordinator for :data:`~repro.parallel.metrics.GLOBAL_METRICS`.
+    """
     workload = _revive_workload(payload)
     digest = config.digest()
     simulator = _WORKER_SIMULATORS.get(digest)
+    profile = profiling_enabled()
     if simulator is None:
-        simulator = Simulator(config)
+        simulator = Simulator(config, telemetry=Telemetry() if profile else None)
         _WORKER_SIMULATORS[digest] = simulator
+    elif profile and simulator.telemetry is None:
+        simulator.telemetry = Telemetry()
+        simulator.system.attach_telemetry(simulator.telemetry)
     start = time.time()
     result = simulator.run(workload)
     elapsed = time.time() - start
     if _WORKER_CACHE is not None:
         _WORKER_CACHE.put(result)
-    return result, elapsed
+    summary = simulator.telemetry.summary() if profile and simulator.telemetry else None
+    return result, elapsed, summary
 
 
 # ----------------------------------------------------------------------
@@ -207,19 +228,24 @@ def run_suite_parallel(
             while remaining:
                 finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in finished:
-                    result, sim_seconds = future.result()
+                    result, sim_seconds, summary = future.result()
                     from .metrics import GLOBAL_METRICS
 
                     GLOBAL_METRICS.record_sim(result.system_name, sim_seconds)
+                    if summary is not None:
+                        GLOBAL_METRICS.record_telemetry(summary)
                     _record(futures[future], result)
 
     # Unpicklable workloads run in-process (rare; custom Workload objects).
     for key, workload, config in local:
         from .metrics import GLOBAL_METRICS
 
+        telemetry = Telemetry() if profiling_enabled() else None
         start = time.time()
-        result = Simulator(config).run(workload)
+        result = Simulator(config, telemetry=telemetry).run(workload)
         GLOBAL_METRICS.record_sim(result.system_name, time.time() - start)
+        if telemetry is not None:
+            GLOBAL_METRICS.record_telemetry(telemetry.summary())
         if cache is not None:
             cache.put(result)
         _fan_out(merged, sinks[key], result)

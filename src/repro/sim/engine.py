@@ -16,6 +16,7 @@ software-coherent caches (L1, L1.5) exactly as Section 5.1.1 requires.
 from __future__ import annotations
 
 from heapq import heappop, heappush
+from math import inf
 from typing import List, Optional
 
 from ..core.gpu import GPUSystem
@@ -56,6 +57,12 @@ class SimulationEngine:
         self.records_executed = 0
         self.ctas_executed = 0
         self.kernels_executed = 0
+        # Telemetry sampling state.  With no probe attached the boundary
+        # stays at +inf, so the event loop's only telemetry residue is one
+        # always-false float comparison per record — results are
+        # bit-identical with or without the subsystem.
+        self._telemetry = None
+        self._next_sample = inf
 
     # ------------------------------------------------------------------
 
@@ -69,6 +76,11 @@ class SimulationEngine:
         self.records_executed = 0
         self.ctas_executed = 0
         self.kernels_executed = 0
+        telemetry = self.system.telemetry
+        self._telemetry = telemetry
+        self._next_sample = (
+            inf if telemetry is None else telemetry.begin_run(self.system, workload.name)
+        )
 
         clock = 0.0
         first = True
@@ -79,6 +91,8 @@ class SimulationEngine:
             clock = self._run_kernel(kernel, clock)
             self.kernels_executed += 1
 
+        if telemetry is not None:
+            telemetry.end_run(clock, self.system, self.records_executed)
         return self._collect(workload, clock)
 
     # ------------------------------------------------------------------
@@ -88,6 +102,10 @@ class SimulationEngine:
         scheduler.start_kernel(kernel.n_ctas)
         heap: List = []
         self._seq = 0
+        telemetry = self._telemetry
+        if telemetry is not None:
+            phase_ctas = self.ctas_executed
+            phase_records = self.records_executed
 
         # Breadth-first initial wave: one CTA per SM per round, in the
         # scheduler's preferred SM order, until slots or CTAs run out.
@@ -108,6 +126,13 @@ class SimulationEngine:
         memsys = self.system.memsys
         while heap:
             ready, _, group = heappop(heap)
+            # Heap pops are monotone in ready time (pushes always re-arm at
+            # finish >= the current pop), so crossing a window boundary here
+            # closes the window exactly once.  Dormant (+inf) without a probe.
+            if ready >= self._next_sample:
+                self._next_sample = telemetry.take_window(
+                    ready, self.system, self.records_executed
+                )
             sm = group.cta.sm
             issue_start = sm.clock if sm.clock > ready else ready
             record = group.records[group.position]
@@ -154,6 +179,16 @@ class SimulationEngine:
         # still queued at DRAM or on the ring must drain before the next
         # kernel (or the final makespan) begins.
         quiesce = self.system.quiesce_time()
+        if telemetry is not None:
+            telemetry.record_phase(
+                kernel.label,
+                self.kernels_executed,
+                start_time,
+                kernel_end,
+                quiesce if quiesce > kernel_end else kernel_end,
+                self.ctas_executed - phase_ctas,
+                self.records_executed - phase_records,
+            )
         return quiesce if quiesce > kernel_end else kernel_end
 
     def _launch(self, heap: List, kernel: KernelLaunch, cta_index: int, sm, at: float) -> None:

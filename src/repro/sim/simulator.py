@@ -23,12 +23,20 @@ class Simulator:
 
     Builds the system once; each :meth:`run` resets it, so results are
     independent.  Use separate instances to run configurations in parallel.
+
+    ``telemetry``, when given a :class:`~repro.telemetry.probe.Telemetry`
+    probe, records a windowed profile of each run (re-armed per run; it
+    holds the most recent run's data).  Results are bit-identical with or
+    without a probe.
     """
 
-    def __init__(self, config: SystemConfig) -> None:
+    def __init__(self, config: SystemConfig, telemetry=None) -> None:
         self.config = config
         self.system = build_system(config)
         self.engine = SimulationEngine(self.system)
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self.system.attach_telemetry(telemetry)
 
     def run(self, workload: Union[Workload, str]) -> SimResult:
         """Simulate ``workload`` (a Workload or a suite benchmark name)."""
@@ -44,6 +52,8 @@ def _resolve_workload(workload: Union[Workload, str]) -> Workload:
     return workload
 
 
-def simulate(workload: Union[Workload, str], config: SystemConfig) -> SimResult:
+def simulate(
+    workload: Union[Workload, str], config: SystemConfig, telemetry=None
+) -> SimResult:
     """Run one workload on one configuration (convenience wrapper)."""
-    return Simulator(config).run(workload)
+    return Simulator(config, telemetry=telemetry).run(workload)

@@ -1,0 +1,39 @@
+"""Telemetry and profiling subsystem for the timing model.
+
+Attach a :class:`Telemetry` probe to a run to record windowed time series
+(cache hit rates, remote fractions, issue utilization, per-pipe bandwidth
+occupancy), per-kernel phase records, and export them as a JSON timeline,
+a Perfetto-loadable Chrome trace, or a plain-text report::
+
+    from repro import Simulator, Telemetry, baseline_mcm_gpu
+    from repro.telemetry import write_chrome_trace
+
+    probe = Telemetry(window_cycles=4096)
+    result = Simulator(baseline_mcm_gpu(), telemetry=probe).run("Stream")
+    write_chrome_trace(probe, "trace.json")
+
+The probe is strictly read-only: results are bit-identical with or
+without it, and a run without a probe pays nothing beyond one dormant
+float comparison per record (see :mod:`repro.telemetry.probe`).
+"""
+
+from .export import (
+    chrome_trace_dict,
+    text_report,
+    timeline_dict,
+    write_chrome_trace,
+    write_json_timeline,
+)
+from .probe import DEFAULT_WINDOW_CYCLES, KernelPhase, Telemetry, WindowSample
+
+__all__ = [
+    "DEFAULT_WINDOW_CYCLES",
+    "KernelPhase",
+    "Telemetry",
+    "WindowSample",
+    "chrome_trace_dict",
+    "text_report",
+    "timeline_dict",
+    "write_chrome_trace",
+    "write_json_timeline",
+]

@@ -1,0 +1,186 @@
+"""Telemetry exporters: JSON timeline, Chrome trace events, text report.
+
+Three views of one :class:`~repro.telemetry.probe.Telemetry` recording:
+
+* :func:`timeline_dict` / :func:`write_json_timeline` — the raw windowed
+  series and kernel phases as one JSON document, for notebooks and
+  calibration scripts;
+* :func:`chrome_trace_dict` / :func:`write_chrome_trace` — the Trace
+  Event Format consumed by Perfetto (https://ui.perfetto.dev) and
+  ``chrome://tracing``: kernels as complete ("X") slices, every windowed
+  metric and pipe-occupancy series as counter ("C") tracks;
+* :func:`text_report` — a terminal-friendly summary (phases, busiest
+  windows, peak pipe occupancy).
+
+At the simulator's 1 GHz clock one cycle is one nanosecond, so trace
+timestamps (microseconds) are ``cycles / 1000``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from .probe import Telemetry
+
+#: Trace Event Format timestamps are microseconds; cycles are nanoseconds
+#: at the paper's 1 GHz clock.
+_CYCLES_PER_US = 1000.0
+
+
+def timeline_dict(telemetry: Telemetry) -> Dict[str, object]:
+    """The full recording as one JSON-serializable dict."""
+    return {
+        "meta": dict(telemetry.meta),
+        "summary": telemetry.summary(),
+        "windows": [window.to_dict() for window in telemetry.windows],
+        "kernel_phases": [phase.to_dict() for phase in telemetry.phases],
+        "pipe_occupancy": {
+            name: {
+                "bytes_per_cycle": data["bytes_per_cycle"],
+                "window_capacity": data["window_capacity"],
+                "series": [list(point) for point in data["series"]],
+            }
+            for name, data in telemetry.pipe_occupancy.items()
+        },
+    }
+
+
+def write_json_timeline(telemetry: Telemetry, path) -> None:
+    """Write :func:`timeline_dict` to ``path``."""
+    Path(path).write_text(json.dumps(timeline_dict(telemetry), indent=2))
+
+
+# ----------------------------------------------------------------------
+# Chrome trace events (Perfetto)
+# ----------------------------------------------------------------------
+
+
+def _counter(name: str, ts_cycles: float, value: float, tid: int = 0) -> dict:
+    return {
+        "name": name,
+        "ph": "C",
+        "ts": ts_cycles / _CYCLES_PER_US,
+        "pid": 0,
+        "tid": tid,
+        "args": {"value": value},
+    }
+
+
+def chrome_trace_dict(telemetry: Telemetry) -> Dict[str, object]:
+    """The recording in Trace Event Format (JSON object form)."""
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {
+                "name": f"{telemetry.meta.get('workload', '?')} on "
+                f"{telemetry.meta.get('system', '?')}"
+            },
+        }
+    ]
+    for phase in telemetry.phases:
+        events.append(
+            {
+                "name": f"kernel {phase.label}",
+                "cat": "kernel",
+                "ph": "X",
+                "ts": phase.start_cycle / _CYCLES_PER_US,
+                "dur": max(phase.duration, 0.001) / _CYCLES_PER_US,
+                "pid": 0,
+                "tid": 0,
+                "args": {
+                    "ctas": phase.ctas,
+                    "records": phase.records,
+                    "quiesce_tail_cycles": phase.quiesce_tail,
+                },
+            }
+        )
+        if phase.quiesce_tail > 0:
+            events.append(
+                {
+                    "name": f"quiesce {phase.label}",
+                    "cat": "quiesce",
+                    "ph": "X",
+                    "ts": phase.end_cycle / _CYCLES_PER_US,
+                    "dur": phase.quiesce_tail / _CYCLES_PER_US,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {},
+                }
+            )
+    for window in telemetry.windows:
+        ts = window.start
+        events.append(_counter("l1 hit rate", ts, window.l1_hit_rate))
+        events.append(_counter("l1.5 hit rate", ts, window.l15_hit_rate))
+        events.append(_counter("l2 hit rate", ts, window.l2_hit_rate))
+        events.append(_counter("remote fraction", ts, window.remote_fraction))
+        events.append(_counter("issue utilization", ts, window.issue_utilization))
+        events.append(_counter("inter-GPM GB/s", ts, window.link_bandwidth))
+        events.append(_counter("records", ts, window.records))
+    for name, data in telemetry.pipe_occupancy.items():
+        capacity = data["window_capacity"]
+        for start, occupied in data["series"]:
+            fraction = occupied / capacity if capacity else 0.0
+            events.append(_counter(f"occupancy {name}", start, fraction))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(telemetry.meta),
+    }
+
+
+def write_chrome_trace(telemetry: Telemetry, path) -> None:
+    """Write :func:`chrome_trace_dict` to ``path`` (Perfetto-loadable)."""
+    Path(path).write_text(json.dumps(chrome_trace_dict(telemetry)))
+
+
+# ----------------------------------------------------------------------
+# plain-text report
+# ----------------------------------------------------------------------
+
+
+def text_report(telemetry: Telemetry, busiest: int = 5) -> str:
+    """Terminal-friendly digest of one recording."""
+    meta = telemetry.meta
+    summary = telemetry.summary()
+    lines = [
+        f"telemetry: {meta.get('workload', '?')} on {meta.get('system', '?')}",
+        f"  {summary['cycles']:,.0f} cycles, {summary['kernels']} kernels, "
+        f"{summary['windows']} windows of {meta.get('window_cycles', 0):,.0f} cycles",
+        f"  l1 hit {summary['l1_hit_rate']:.1%}, l2 hit {summary['l2_hit_rate']:.1%}, "
+        f"remote {summary['remote_fraction']:.1%}, "
+        f"issue util {summary['issue_utilization']:.1%}",
+        f"  quiesce tails {summary['quiesce_tail_cycles']:,.0f} cycles total",
+    ]
+    if summary["peak_pipe"]:
+        lines.append(
+            f"  peak pipe occupancy: {summary['peak_pipe']} at "
+            f"{summary['peak_pipe_occupancy']:.1%} "
+            f"(window @ {summary['peak_pipe_window_start']:,.0f} cycles)"
+        )
+    if telemetry.phases:
+        lines.append("  kernel phases:")
+        for phase in telemetry.phases:
+            lines.append(
+                f"    #{phase.index} {phase.label}: "
+                f"[{phase.start_cycle:,.0f}, {phase.end_cycle:,.0f}] "
+                f"{phase.ctas} CTAs, {phase.records} records, "
+                f"quiesce tail {phase.quiesce_tail:,.0f}"
+            )
+    ranked = sorted(telemetry.windows, key=lambda w: -w.link_bytes)[:busiest]
+    ranked = [window for window in ranked if window.link_bytes]
+    if ranked:
+        lines.append(f"  busiest windows by inter-GPM traffic (top {len(ranked)}):")
+        for window in ranked:
+            lines.append(
+                f"    [{window.start:,.0f}, {window.end:,.0f}): "
+                f"{window.link_bandwidth:,.0f} GB/s, "
+                f"l2 hit {window.l2_hit_rate:.0%}, "
+                f"remote {window.remote_fraction:.0%}, "
+                f"issue util {window.issue_utilization:.0%}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,396 @@
+"""Windowed telemetry probe for the timing model.
+
+The simulator's end-of-run counters answer *how much* (total link bytes,
+final hit rates) but not *when* — yet the paper's headline evidence is
+time-aggregated behaviour: a link that saturates only during one kernel's
+store burst (the Section 5.4 Streamcluster anomaly) looks identical, in
+totals, to one that is mildly busy throughout.  A :class:`Telemetry`
+instance attached to a :class:`~repro.core.gpu.GPUSystem` records:
+
+* **windowed samples** — per-window deltas of every architectural counter
+  (cache hits/misses per level, local/remote routing, issue-port busy
+  cycles, DRAM and link traffic), taken as the event loop's monotone
+  ready-time stream crosses fixed window boundaries;
+* **kernel phases** — start/end cycle, CTA and record counts, and the
+  store-drain quiesce tail of every kernel launch;
+* **pipe occupancy** — per-:class:`~repro.memory.bandwidth.BandwidthPipe`
+  reserved bytes per window, read directly from each pipe's bucket map
+  after the run (the bucket map *is* the time series, so this costs the
+  hot path nothing).
+
+Zero-overhead-when-off contract
+-------------------------------
+The default is no probe at all (``system.telemetry is None``).  The engine
+then keeps its sampling boundary at ``+inf``, so the only residue on the
+hot path is a single always-false float comparison per record; no counters,
+no allocations, no branches taken.  Results are bit-identical with the
+probe attached or absent — telemetry only *reads* simulator state, at
+window boundaries and at run end, and never perturbs timing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..core.gpu import GPUSystem
+
+#: Default sampling window in cycles.  Coarse enough that a suite workload
+#: produces tens of windows, fine enough to localize a saturation burst.
+DEFAULT_WINDOW_CYCLES = 4096.0
+
+
+@dataclass(frozen=True)
+class WindowSample:
+    """Counter deltas over one sampling window ``[start, end)``."""
+
+    start: float
+    end: float
+    records: int
+    loads: int
+    stores: int
+    remote_loads: int
+    remote_stores: int
+    l1_hits: int
+    l1_misses: int
+    l15_hits: int
+    l15_misses: int
+    l2_hits: int
+    l2_misses: int
+    local_requests: int
+    remote_requests: int
+    issue_busy_cycles: float
+    dram_bytes: int
+    link_bytes: int
+    n_sms: int
+
+    @property
+    def duration(self) -> float:
+        """Window length in cycles."""
+        return self.end - self.start
+
+    @staticmethod
+    def _rate(hits: int, misses: int) -> float:
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    @property
+    def l1_hit_rate(self) -> float:
+        """L1 hit ratio within this window (0.0 when untouched)."""
+        return self._rate(self.l1_hits, self.l1_misses)
+
+    @property
+    def l15_hit_rate(self) -> float:
+        """L1.5 hit ratio within this window."""
+        return self._rate(self.l15_hits, self.l15_misses)
+
+    @property
+    def l2_hit_rate(self) -> float:
+        """Memory-side L2 hit ratio within this window."""
+        return self._rate(self.l2_hits, self.l2_misses)
+
+    @property
+    def remote_fraction(self) -> float:
+        """Fraction of routed (post-L1) requests homed remotely."""
+        total = self.local_requests + self.remote_requests
+        return self.remote_requests / total if total else 0.0
+
+    @property
+    def issue_utilization(self) -> float:
+        """Mean fraction of SM issue capacity consumed this window."""
+        if self.duration <= 0 or self.n_sms == 0:
+            return 0.0
+        return self.issue_busy_cycles / (self.duration * self.n_sms)
+
+    @property
+    def link_bandwidth(self) -> float:
+        """Inter-GPM traffic in bytes/cycle (== GB/s at 1 GHz)."""
+        if self.duration <= 0:
+            return 0.0
+        return self.link_bytes / self.duration
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (fields plus the derived rates) for exporters."""
+        data = asdict(self)
+        data["l1_hit_rate"] = self.l1_hit_rate
+        data["l15_hit_rate"] = self.l15_hit_rate
+        data["l2_hit_rate"] = self.l2_hit_rate
+        data["remote_fraction"] = self.remote_fraction
+        data["issue_utilization"] = self.issue_utilization
+        data["link_bandwidth"] = self.link_bandwidth
+        return data
+
+
+@dataclass(frozen=True)
+class KernelPhase:
+    """One kernel launch's timeline record."""
+
+    label: str
+    index: int
+    start_cycle: float
+    end_cycle: float
+    quiesce_end_cycle: float
+    ctas: int
+    records: int
+
+    @property
+    def duration(self) -> float:
+        """Cycles from launch to last warp retirement."""
+        return self.end_cycle - self.start_cycle
+
+    @property
+    def quiesce_tail(self) -> float:
+        """Cycles spent draining buffered stores after the last retirement."""
+        tail = self.quiesce_end_cycle - self.end_cycle
+        return tail if tail > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (fields plus derived durations) for exporters."""
+        data = asdict(self)
+        data["duration"] = self.duration
+        data["quiesce_tail"] = self.quiesce_tail
+        return data
+
+
+class _Snapshot:
+    """Cumulative counter capture used to form window deltas."""
+
+    __slots__ = (
+        "records",
+        "loads",
+        "stores",
+        "remote_loads",
+        "remote_stores",
+        "l1_hits",
+        "l1_misses",
+        "l15_hits",
+        "l15_misses",
+        "l2_hits",
+        "l2_misses",
+        "local_requests",
+        "remote_requests",
+        "issue_busy_cycles",
+        "dram_bytes",
+        "link_bytes",
+    )
+
+    def __init__(self, system: "GPUSystem", records: int) -> None:
+        self.records = records
+        memsys = system.memsys
+        self.loads, self.stores, self.remote_loads, self.remote_stores = (
+            memsys.counter_snapshot()
+        )
+        l1_hits = l1_misses = 0
+        l15_hits = l15_misses = 0
+        l2_hits = l2_misses = 0
+        local = remote = 0
+        busy = 0.0
+        dram = 0
+        for gpm in system.gpms:
+            for sm in gpm.sms:
+                stats = sm.l1.stats
+                l1_hits += stats.hits
+                l1_misses += stats.misses
+                busy += sm.issue_busy_cycles
+            if gpm.l15 is not None:
+                l15_hits += gpm.l15.stats.hits
+                l15_misses += gpm.l15.stats.misses
+            l2_hits += gpm.l2.stats.hits
+            l2_misses += gpm.l2.stats.misses
+            local += gpm.xbar.local_requests
+            remote += gpm.xbar.remote_requests
+            dram += gpm.dram.pipe.bytes_transferred
+        self.l1_hits, self.l1_misses = l1_hits, l1_misses
+        self.l15_hits, self.l15_misses = l15_hits, l15_misses
+        self.l2_hits, self.l2_misses = l2_hits, l2_misses
+        self.local_requests, self.remote_requests = local, remote
+        self.issue_busy_cycles = busy
+        self.dram_bytes = dram
+        self.link_bytes = system.ring.total_link_bytes
+
+
+class Telemetry:
+    """Probe/sampler attached to one :class:`~repro.core.gpu.GPUSystem`.
+
+    The engine drives the lifecycle: :meth:`begin_run` at reset,
+    :meth:`take_window` whenever the event stream crosses the next window
+    boundary, :meth:`record_phase` per kernel, :meth:`end_run` at
+    completion.  A probe is reusable — each ``begin_run`` starts a fresh
+    recording — but holds only the most recent run's data.
+    """
+
+    def __init__(self, window_cycles: float = DEFAULT_WINDOW_CYCLES) -> None:
+        if window_cycles <= 0:
+            raise ValueError(f"window_cycles must be positive, got {window_cycles}")
+        self.window_cycles = float(window_cycles)
+        self.windows: List[WindowSample] = []
+        self.phases: List[KernelPhase] = []
+        #: pipe name -> {"bytes_per_cycle": float, "series": [(start, bytes)]}
+        self.pipe_occupancy: Dict[str, Dict[str, object]] = {}
+        self.meta: Dict[str, object] = {}
+        self._last: Optional[_Snapshot] = None
+        self._last_time = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle (called by the simulation engine)
+    # ------------------------------------------------------------------
+
+    def begin_run(self, system: "GPUSystem", workload_name: str) -> float:
+        """Start recording a fresh run; returns the first window boundary."""
+        self.windows = []
+        self.phases = []
+        self.pipe_occupancy = {}
+        self.meta = {
+            "workload": workload_name,
+            "system": system.config.name,
+            "window_cycles": self.window_cycles,
+        }
+        self._last = _Snapshot(system, 0)
+        self._last_time = 0.0
+        return self.window_cycles
+
+    def take_window(self, now: float, system: "GPUSystem", records: int) -> float:
+        """Close the window(s) behind ``now``; returns the next boundary.
+
+        Gaps in the event stream longer than one window produce a single
+        wider sample rather than a run of empty ones — every sample carries
+        its own ``start``/``end``, and all derived metrics are rates.
+        """
+        width = self.window_cycles
+        end = math.floor(now / width) * width
+        if end <= self._last_time:
+            end = self._last_time + width
+        self._capture(end, system, records)
+        return end + width
+
+    def end_run(self, cycles: float, system: "GPUSystem", records: int) -> None:
+        """Close the final partial window and harvest pipe bucket maps."""
+        if cycles > self._last_time:
+            self._capture(cycles, system, records)
+        self.meta["cycles"] = cycles
+        self._collect_pipe_occupancy(system)
+
+    def record_phase(
+        self,
+        label: str,
+        index: int,
+        start_cycle: float,
+        end_cycle: float,
+        quiesce_end_cycle: float,
+        ctas: int,
+        records: int,
+    ) -> None:
+        """Append one kernel's phase record (engine calls this per kernel)."""
+        self.phases.append(
+            KernelPhase(
+                label=label,
+                index=index,
+                start_cycle=start_cycle,
+                end_cycle=end_cycle,
+                quiesce_end_cycle=quiesce_end_cycle,
+                ctas=ctas,
+                records=records,
+            )
+        )
+
+    # ------------------------------------------------------------------
+
+    def _capture(self, end: float, system: "GPUSystem", records: int) -> None:
+        snap = _Snapshot(system, records)
+        last = self._last
+        self.windows.append(
+            WindowSample(
+                start=self._last_time,
+                end=end,
+                records=snap.records - last.records,
+                loads=snap.loads - last.loads,
+                stores=snap.stores - last.stores,
+                remote_loads=snap.remote_loads - last.remote_loads,
+                remote_stores=snap.remote_stores - last.remote_stores,
+                l1_hits=snap.l1_hits - last.l1_hits,
+                l1_misses=snap.l1_misses - last.l1_misses,
+                l15_hits=snap.l15_hits - last.l15_hits,
+                l15_misses=snap.l15_misses - last.l15_misses,
+                l2_hits=snap.l2_hits - last.l2_hits,
+                l2_misses=snap.l2_misses - last.l2_misses,
+                local_requests=snap.local_requests - last.local_requests,
+                remote_requests=snap.remote_requests - last.remote_requests,
+                issue_busy_cycles=snap.issue_busy_cycles - last.issue_busy_cycles,
+                dram_bytes=snap.dram_bytes - last.dram_bytes,
+                link_bytes=snap.link_bytes - last.link_bytes,
+                n_sms=system.total_sms,
+            )
+        )
+        self._last = snap
+        self._last_time = end
+
+    def _collect_pipe_occupancy(self, system: "GPUSystem") -> None:
+        pipes = []
+        for gpm in system.gpms:
+            pipes.append(gpm.dram.pipe)
+        for link in system.ring.links:
+            pipes.append(link.request_pipe)
+            pipes.append(link.response_pipe)
+        for pipe in pipes:
+            series = pipe.occupancy_windows(self.window_cycles)
+            if series:
+                self.pipe_occupancy[pipe.name] = {
+                    "bytes_per_cycle": pipe.bytes_per_cycle,
+                    "window_capacity": pipe.bytes_per_cycle * self.window_cycles,
+                    "series": series,
+                }
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+
+    def peak_pipe_occupancy(self) -> Tuple[str, float, float]:
+        """``(pipe name, window start, fraction)`` of the busiest window.
+
+        Fraction is of the pipe's window capacity; ``("", 0.0, 0.0)`` when
+        no pipe carried traffic.
+        """
+        best = ("", 0.0, 0.0)
+        for name, data in self.pipe_occupancy.items():
+            capacity = data["window_capacity"]
+            for start, occupied in data["series"]:
+                fraction = occupied / capacity if capacity else 0.0
+                if fraction > best[2]:
+                    best = (name, start, fraction)
+        return best
+
+    def summary(self) -> Dict[str, object]:
+        """Compact, picklable per-run digest for cross-process aggregation."""
+        last = self._last
+        peak_name, peak_start, peak_fraction = self.peak_pipe_occupancy()
+        quiesce_tail = sum(phase.quiesce_tail for phase in self.phases)
+        cycles = float(self.meta.get("cycles", self._last_time) or 0.0)
+        total_sms = self.windows[0].n_sms if self.windows else 0
+        issue_util = 0.0
+        if last is not None and cycles > 0 and total_sms:
+            issue_util = last.issue_busy_cycles / (cycles * total_sms)
+        return {
+            "workload": self.meta.get("workload", ""),
+            "system": self.meta.get("system", ""),
+            "cycles": cycles,
+            "windows": len(self.windows),
+            "kernels": len(self.phases),
+            "quiesce_tail_cycles": quiesce_tail,
+            "peak_pipe": peak_name,
+            "peak_pipe_window_start": peak_start,
+            "peak_pipe_occupancy": peak_fraction,
+            "l1_hit_rate": WindowSample._rate(last.l1_hits, last.l1_misses)
+            if last
+            else 0.0,
+            "l2_hit_rate": WindowSample._rate(last.l2_hits, last.l2_misses)
+            if last
+            else 0.0,
+            "remote_fraction": (
+                last.remote_requests / (last.local_requests + last.remote_requests)
+                if last and (last.local_requests + last.remote_requests)
+                else 0.0
+            ),
+            "issue_utilization": issue_util,
+        }

@@ -122,3 +122,76 @@ def test_sustained_demand_is_bandwidth_bound(sizes):
         last = max(last, pipe.transfer(0.0, size))
     total_bytes = sum(sizes)
     assert last >= total_bytes / 16.0 - 8.0  # within one bucket of the bound
+
+
+class TestFullPrefixAdvance:
+    """Regression: the full-bucket skip pointer must advance on every way a
+    bucket can reach capacity, so a backlogged pipe never rescans known-full
+    buckets on admission."""
+
+    def test_fast_path_exact_fill_advances_prefix(self):
+        pipe = BandwidthPipe(1.0, bucket_cycles=8.0)  # 8 bytes per bucket
+        pipe.transfer(0.0, 8)  # fast path: fills bucket 0 exactly
+        assert pipe._full_prefix == 1
+
+    def test_slow_path_final_exact_fill_advances_prefix(self):
+        pipe = BandwidthPipe(1.0, bucket_cycles=8.0)
+        pipe.transfer(0.0, 16)  # fills buckets 0 and 1, ending exactly full
+        assert pipe._full_prefix == 2
+
+    def test_prefix_hops_over_full_buckets_filled_out_of_order(self):
+        pipe = BandwidthPipe(1.0, bucket_cycles=8.0)
+        # Fill bucket 1 first (out of order); prefix cannot move yet because
+        # bucket 0 still has room.
+        pipe.transfer(8.0, 8)
+        assert pipe._full_prefix == 0
+        # Filling bucket 0 must advance the prefix past the already-full
+        # bucket 1 in one step, not stop adjacent to it.
+        pipe.transfer(0.0, 8)
+        assert pipe._full_prefix == 2
+
+    def test_admission_skips_saturated_prefix_without_rescanning(self):
+        pipe = BandwidthPipe(1.0, bucket_cycles=8.0)
+        for _ in range(50):
+            pipe.transfer(0.0, 8)  # saturate buckets 0..49 via the fast path
+        assert pipe._full_prefix == 50
+        # The next charge at now=0 must be admitted directly at the prefix:
+        # its first candidate bucket is the first non-full one, so the slow
+        # path never iterates over the 50 saturated buckets.
+        finish = pipe.transfer(0.0, 8)
+        assert finish == pytest.approx(51 * 8.0)
+        assert pipe._full_prefix == 51
+
+    def test_prefix_shortcut_is_timing_neutral(self):
+        """The skip pointer is a pure scan optimization: charging the same
+        demand with and without it yields identical finish times."""
+        charges = [(0.0, 8), (0.0, 8), (8.0, 8), (0.0, 4), (16.0, 8), (0.0, 12)]
+        optimized = BandwidthPipe(1.0, bucket_cycles=8.0)
+        reference = BandwidthPipe(1.0, bucket_cycles=8.0)
+        reference._full_prefix = 0  # it always is; scan from zero regardless
+        finishes = []
+        for now, size in charges:
+            finishes.append(optimized.transfer(now, size))
+        expected = []
+        for now, size in charges:
+            reference._full_prefix = 0  # force the rescan path every charge
+            expected.append(reference.transfer(now, size))
+        assert finishes == pytest.approx(expected)
+
+
+class TestOccupancyWindows:
+    def test_empty_pipe_has_no_windows(self):
+        assert BandwidthPipe(16.0).occupancy_windows(4096.0) == []
+
+    def test_windows_aggregate_buckets(self):
+        pipe = BandwidthPipe(1.0, bucket_cycles=8.0)
+        pipe.transfer(0.0, 8)
+        pipe.transfer(8.0, 4)
+        pipe.transfer(100.0, 2)
+        windows = pipe.occupancy_windows(16.0)
+        assert windows[0] == (0.0, 12.0)  # buckets 0+1 fold into window 0
+        assert (96.0, 2.0) in windows
+
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ValueError, match="window_cycles"):
+            BandwidthPipe(16.0).occupancy_windows(0.0)

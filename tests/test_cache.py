@@ -205,3 +205,40 @@ def test_every_dirty_line_is_eventually_accounted(ops):
     # Every line reported dirty was written at some point.
     for addr in evicted_dirty + flushed:
         assert addr in written
+
+
+class TestResetStats:
+    def test_reset_stats_zeroes_counters_and_keeps_contents(self):
+        cache = make_cache()
+        cache.access(1)
+        cache.access(1)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
+        assert cache.stats.flushes == 0
+        assert cache.resident_lines() == 1
+        hit, _ = cache.access(1)
+        assert hit  # contents untouched
+
+    def test_disabled_cache_flush_counts_nothing(self):
+        cache = SetAssocCache(size_bytes=0)
+        assert cache.flush() == []
+        assert cache.stats.flushes == 0
+        assert cache.stats.writebacks == 0
+
+    def test_enabled_cache_flush_still_counts(self):
+        cache = make_cache()
+        cache.flush()
+        assert cache.stats.flushes == 1
+
+    def test_sm_reset_uses_reset_stats(self):
+        from repro.core.presets import baseline_mcm_gpu
+        from repro.core.sm import SM
+
+        config = baseline_mcm_gpu()
+        sm = SM(0, 0, config.gpm.sm)
+        sm.l1.access(1)
+        sm.charge_issue(0.0, 8)
+        sm.reset()
+        assert sm.l1.stats.accesses == 0
+        assert sm.l1.stats.flushes == 0  # the reset flush is not pollution
+        assert sm.issue_busy_cycles == 0.0

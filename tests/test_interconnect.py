@@ -162,3 +162,50 @@ def test_ring_accounting_matches_hops(n_nodes, transfers):
         ring.transfer(0.0, src, dst, size)
         expected += size * ring.hops_between(src, dst)
     assert ring.total_link_bytes == expected
+
+
+class TestAntipodalTieBreak:
+    """Regression: opposite-corner routes on an even ring must spread over
+    both directions (by source parity) instead of all going clockwise."""
+
+    def test_even_ring_splits_antipodal_directions_by_source_parity(self):
+        ring = RingNetwork(4, 768.0)
+        # Even sources go clockwise: first hop of 0->2 is the 0->1 link.
+        assert ring.route(0, 2)[0] is ring._links[0][0]
+        # Odd sources go counter-clockwise: first hop of 1->3 is 1->0.
+        assert ring.route(1, 3)[0] is ring._links[1][1]
+
+    def test_route_lengths_still_minimal_after_tie_break(self):
+        for n_nodes in (2, 4, 6, 8):
+            ring = RingNetwork(n_nodes, 768.0)
+            for src in range(n_nodes):
+                for dst in range(n_nodes):
+                    assert len(ring.route(src, dst)) == ring.hops_between(src, dst)
+
+    def test_antipodal_traffic_from_two_sources_uses_both_directions(self):
+        ring = RingNetwork(4, 768.0)
+        ring.transfer(0.0, 0, 2, 128)
+        ring.transfer(0.0, 1, 3, 128)
+        clockwise_bytes = sum(pair[0].bytes_transferred for pair in ring._links)
+        counter_bytes = sum(pair[1].bytes_transferred for pair in ring._links)
+        assert clockwise_bytes > 0
+        assert counter_bytes > 0
+
+    def test_all_pairs_antipodal_traffic_balances_exactly(self):
+        ring = RingNetwork(4, 768.0)
+        for src in range(4):
+            ring.transfer(0.0, src, (src + 2) % 4, 128)
+        clockwise_bytes = sum(pair[0].bytes_transferred for pair in ring._links)
+        counter_bytes = sum(pair[1].bytes_transferred for pair in ring._links)
+        assert clockwise_bytes == counter_bytes
+
+    def test_odd_ring_unaffected_by_tie_break(self):
+        ring = RingNetwork(5, 768.0)
+        for src in range(5):
+            for dst in range(5):
+                if src == dst:
+                    continue
+                clockwise_hops = (dst - src) % 5
+                expect_clockwise = clockwise_hops < 5 - clockwise_hops
+                first = ring.route(src, dst)[0]
+                assert (first is ring._links[src][0]) == expect_clockwise
