@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Micro-benchmark: simulation throughput on the validation micro suite.
+
+Runs the micro suite serially on the baseline machine with the cache
+bypassed (every run simulates) and emits a small JSON report::
+
+    python scripts/bench.py --out BENCH_3.json
+
+The figure of merit is ``runs_per_sec`` — end-to-end simulated runs per
+wall-clock second on one core, the quantity every suite sweep scales
+with.  CI archives the JSON so throughput regressions show up next to
+correctness failures.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.config import MODEL_REV
+from repro.core.presets import baseline_mcm_gpu, optimized_mcm_gpu
+from repro.sim.simulator import Simulator
+from repro.validate.properties import micro_suite
+
+
+def bench(repeats: int, micro: int) -> dict:
+    """Time ``repeats`` passes of the micro suite on two machines."""
+    workloads = micro_suite(micro)
+    configs = [baseline_mcm_gpu(), optimized_mcm_gpu()]
+    # Warm-up pass: first-run costs (pattern construction, trace caches)
+    # belong to neither the model nor the figure of merit.
+    for config in configs:
+        simulator = Simulator(config)
+        for workload in workloads:
+            simulator.run(workload)
+
+    runs = 0
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for config in configs:
+            simulator = Simulator(config)
+            for workload in workloads:
+                simulator.run(workload)
+                runs += 1
+    seconds = time.perf_counter() - start
+    return {
+        "model_rev": MODEL_REV,
+        "workloads": [workload.name for workload in workloads],
+        "configs": [config.name for config in configs],
+        "runs": runs,
+        "seconds": round(seconds, 4),
+        "runs_per_sec": round(runs / seconds, 2) if seconds > 0 else None,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description="Benchmark simulation throughput.")
+    parser.add_argument("--out", default="BENCH_3.json", metavar="PATH")
+    parser.add_argument("--repeats", type=int, default=3, metavar="N")
+    parser.add_argument(
+        "--micro", type=int, default=2, metavar="N", help="micro-suite size (1-4)"
+    )
+    opts = parser.parse_args()
+    report = bench(opts.repeats, opts.micro)
+    with open(opts.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

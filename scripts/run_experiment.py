@@ -19,6 +19,7 @@ one run use ``scripts/profile_run.py``.
 import argparse
 import sys
 import time
+import traceback
 
 from repro.experiments import EXPERIMENTS
 from repro.parallel import GLOBAL_METRICS
@@ -88,8 +89,19 @@ def main() -> int:
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 1
+    failed = []
     for exp_id in args:
-        run(exp_id)
+        # One broken experiment must not silence the rest of an `all` run,
+        # but it must fail the process — CI keys off the exit status.
+        try:
+            run(exp_id)
+        except Exception:
+            traceback.print_exc()
+            print(f"[{exp_id}: FAILED]\n", file=sys.stderr)
+            failed.append(exp_id)
+    if failed:
+        print(f"{len(failed)} experiment(s) failed: {', '.join(failed)}", file=sys.stderr)
+        return 1
     return 0
 
 

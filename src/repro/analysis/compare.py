@@ -8,6 +8,7 @@ the layout of Figures 6, 9 and 13.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
@@ -29,7 +30,12 @@ class ComparisonMatrix:
 
     def column(self, label: str) -> Dict[str, float]:
         """Per-workload speedups of one configuration."""
-        index = self.column_labels.index(label)
+        try:
+            index = self.column_labels.index(label)
+        except ValueError:
+            raise KeyError(
+                f"no column {label!r}; have {', '.join(map(repr, self.column_labels))}"
+            ) from None
         return {name: values[index] for name, values in self.rows.items()}
 
     def best_configuration(self) -> str:
@@ -46,26 +52,41 @@ def build_matrix(
     configurations: Mapping[str, Mapping[str, SimResult]],
     baseline_label: str = "baseline",
     workload_order: Optional[Sequence[str]] = None,
+    strict: bool = False,
 ) -> ComparisonMatrix:
     """Assemble a :class:`ComparisonMatrix`.
 
     ``configurations`` maps column label -> results keyed by workload name.
     Workloads missing from any configuration are dropped (comparisons must
-    be complete rows).
+    be complete rows): silently skewed geomeans are worse than missing
+    rows, so dropped names are logged — or, with ``strict=True``, raised
+    as a ``ValueError``.
     """
     if not configurations:
         raise ValueError("need at least one configuration to compare")
     labels = list(configurations)
     names = list(workload_order) if workload_order is not None else list(baseline)
     rows: Dict[str, List[float]] = {}
+    dropped: List[str] = []
     for name in names:
-        if name not in baseline:
-            continue
-        if any(name not in results for results in configurations.values()):
+        if name not in baseline or any(
+            name not in results for results in configurations.values()
+        ):
+            dropped.append(name)
             continue
         rows[name] = [
             configurations[label][name].speedup_over(baseline[name]) for label in labels
         ]
+    if dropped:
+        if strict:
+            raise ValueError(
+                f"incomplete rows for {len(dropped)} workload(s): {', '.join(dropped)}"
+            )
+        logging.getLogger(__name__).warning(
+            "build_matrix dropped %d incomplete workload row(s): %s",
+            len(dropped),
+            ", ".join(dropped),
+        )
 
     category_geomeans: Dict[str, List[float]] = {}
     grouped = specs_by_category()

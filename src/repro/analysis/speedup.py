@@ -15,12 +15,20 @@ from ..sim.result import SimResult
 
 
 def geomean(values: Iterable[float]) -> float:
-    """Geometric mean; rejects empty input and non-positive values."""
+    """Geometric mean; rejects empty input and non-positive/non-finite values.
+
+    A zero, negative, NaN or infinite speedup always means an upstream bug
+    (a zero-cycle run, a division error), never a real measurement — so it
+    raises instead of silently poisoning a reported mean.
+    """
     values = list(values)
     if not values:
         raise ValueError("geomean of empty sequence")
-    if any(value <= 0 for value in values):
-        raise ValueError(f"geomean requires positive values, got {values}")
+    bad = [value for value in values if not math.isfinite(value) or value <= 0]
+    if bad:
+        raise ValueError(
+            f"geomean requires positive finite values, got {bad} in {values}"
+        )
     return math.exp(sum(math.log(value) for value in values) / len(values))
 
 

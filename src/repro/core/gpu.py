@@ -55,6 +55,10 @@ class GPUSystem:
         #: (the default) means no recording and no hot-path work; the
         #: engine reads this once per run.
         self.telemetry = None
+        #: Optional :class:`~repro.validate.invariants.LiveValidator`.  None
+        #: (the default) disables live invariant checking; the engine reads
+        #: this once per run and calls it at kernel boundaries only.
+        self.validator = None
 
     @property
     def n_gpms(self) -> int:
@@ -93,6 +97,15 @@ class GPUSystem:
         changes simulation results.
         """
         self.telemetry = telemetry
+
+    def attach_validator(self, validator) -> None:
+        """Attach a live invariant validator to subsequent runs (None detaches).
+
+        The validator only reads structural state (cache occupancy, pipe
+        bucket maps, slot counters) at kernel boundaries, so attaching one
+        never changes simulation results.
+        """
+        self.validator = validator
 
     def kernel_boundary_flush(self) -> None:
         """Flush the software-coherent levels (L1, L1.5) on all modules."""

@@ -166,6 +166,22 @@ class BandwidthPipe:
             for window, occupied in sorted(windows.items())
         ]
 
+    def overfull_buckets(self, tolerance: float = 1e-9):
+        """Buckets whose reservations exceed capacity, as ``(index, bytes)``.
+
+        The reservation algorithm never admits more than ``bucket_capacity``
+        bytes into one bucket, so a non-empty return value means the pipe's
+        accounting is corrupt — this is the live-validation probe for the
+        "bucket occupancy <= capacity" invariant.  ``tolerance`` absorbs
+        float rounding from fractional byte splits.
+        """
+        limit = self.bucket_capacity * (1.0 + tolerance)
+        return [
+            (bucket, occupied)
+            for bucket, occupied in self._used.items()
+            if occupied > limit
+        ]
+
     def reset(self) -> None:
         """Clear timing and counters (used when re-running on one system)."""
         self.busy_until = 0.0

@@ -82,6 +82,12 @@ class SimulationEngine:
             inf if telemetry is None else telemetry.begin_run(self.system, workload.name)
         )
 
+        # Live invariant checking is opt-in and read-only: with no validator
+        # attached the loop pays one `is not None` test per kernel, and an
+        # attached validator only *reads* structural state, so results are
+        # bit-identical either way.
+        validator = self.system.validator
+
         clock = 0.0
         first = True
         for kernel in workload.kernels():
@@ -90,10 +96,15 @@ class SimulationEngine:
             first = False
             clock = self._run_kernel(kernel, clock)
             self.kernels_executed += 1
+            if validator is not None:
+                validator.after_kernel(self.system, clock)
 
         if telemetry is not None:
             telemetry.end_run(clock, self.system, self.records_executed)
-        return self._collect(workload, clock)
+        result = self._collect(workload, clock)
+        if validator is not None:
+            validator.after_run(self.system, result)
+        return result
 
     # ------------------------------------------------------------------
 
@@ -261,6 +272,7 @@ class SimulationEngine:
             link_bytes=system.ring.total_link_bytes,
             page_local=page_local,
             page_remote=page_remote,
+            migration_bytes=memsys.migration_bytes,
             line_bytes=config.line_bytes,
             link_tier=config.link_tier,
             workload_digest=digest,

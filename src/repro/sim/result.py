@@ -38,6 +38,10 @@ class SimResult:
     link_bytes: int
     page_local: int
     page_remote: int
+    #: Bytes moved by dynamic page migration (zero for the paper's static
+    #: placements); lets conservation checks account for DRAM/ring traffic
+    #: that is not attributable to demand requests.
+    migration_bytes: int = 0
     line_bytes: int = 128
     link_tier: str = "package"
     workload_digest: str = ""

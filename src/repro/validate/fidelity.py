@@ -1,0 +1,240 @@
+"""Paper shape-fidelity gate: banded checks on the headline results.
+
+The benchmarks under ``benchmarks/`` assert one-sided inequalities per
+figure; this module turns the same headline quantities from Figures 6, 9,
+13, 15, 16 and 17 into *two-sided* tolerance bands and evaluates them in
+one batch.  A band failing low means the mechanism stopped working; a band
+failing high means the model drifted into over-rewarding it — both are
+regressions even though the one-sided benchmark still passes.
+
+The sweep runs every design point through one
+:func:`~repro.experiments.common.run_suites` call, so the process pool
+overlaps all (workload, config) pairs and the shared disk cache makes
+repeat runs (and overlap with the benchmark suite) free.  Band evaluation
+is separated into :func:`evaluate_checks` so tests can exercise the gate
+on synthetic numbers without simulating.
+
+``fast=True`` scales every workload's CTA count down by
+:data:`FAST_FACTOR` and widens each band by :data:`FAST_SLACK` — shrunken
+workloads keep the qualitative shape but shift the magnitudes, so the fast
+gate only catches gross breakage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import inf
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.report import format_table
+from ..analysis.speedup import geomean, sorted_speedup_curve, speedups
+from ..core.presets import (
+    baseline_mcm_gpu,
+    mcm_gpu_with_l15,
+    monolithic_gpu,
+    multi_gpu,
+    optimized_mcm_gpu,
+)
+from ..experiments.common import names_in_category, run_suites
+from ..workloads.suite import suite_workloads
+from ..workloads.synthetic import Category
+from .invariants import check_result
+
+#: CTA scale factor for the fast gate.
+FAST_FACTOR = 0.25
+#: Multiplicative band widening for the fast gate (bands move away from
+#: the value by this fraction on each side).
+FAST_SLACK = 0.30
+
+
+@dataclass(frozen=True)
+class FidelityCheck:
+    """One banded headline quantity: pass iff ``lo <= value <= hi``."""
+
+    name: str
+    paper_ref: str
+    lo: float
+    hi: float
+    value: float
+
+    @property
+    def passed(self) -> bool:
+        return self.lo <= self.value <= self.hi
+
+    def widened(self, slack: float) -> "FidelityCheck":
+        """Copy with both band edges moved outward by ``slack`` (fractional).
+
+        Each edge moves by ``slack`` times its own magnitude, floored at
+        ``slack * 0.1`` in absolute terms — ordering checks have a lower
+        edge of exactly 0, and a purely multiplicative widening would
+        leave them with no slack at all.
+        """
+        lo = self.lo - slack * max(abs(self.lo), 0.1)
+        hi = self.hi if self.hi == inf else self.hi + slack * max(abs(self.hi), 0.1)
+        return FidelityCheck(self.name, self.paper_ref, lo, hi, self.value)
+
+
+def _category_geomean(per_workload: Dict[str, float], category: Category) -> float:
+    names = [name for name in names_in_category(category) if name in per_workload]
+    return geomean(per_workload[name] for name in names)
+
+
+def run_fidelity(fast: bool = False) -> List[FidelityCheck]:
+    """Simulate every design point and evaluate the fidelity bands."""
+    workloads = suite_workloads(fast_factor=FAST_FACTOR) if fast else suite_workloads()
+    configs = {
+        "baseline": baseline_mcm_gpu(),
+        "l15-8": mcm_gpu_with_l15(8, remote_only=True),
+        "l15-16": mcm_gpu_with_l15(16, remote_only=True),
+        "l15-32": mcm_gpu_with_l15(32, remote_only=True),
+        "l15-16-ds": mcm_gpu_with_l15(16, remote_only=True, scheduler="distributed"),
+        "opt-16": mcm_gpu_with_l15(
+            16, remote_only=True, scheduler="distributed", placement="first_touch"
+        ),
+        "opt-8": optimized_mcm_gpu(),
+        "monolithic-256": monolithic_gpu(256),
+        "multi-gpu": multi_gpu(optimized=False),
+        "multi-gpu-opt": multi_gpu(optimized=True),
+    }
+    order = list(configs)
+    per_config = run_suites([configs[key] for key in order], workloads=workloads)
+    results = dict(zip(order, per_config))
+    for key, suite in results.items():
+        for result in suite.values():
+            violations = check_result(result, config=configs[key])
+            if violations:
+                raise AssertionError(
+                    f"invariant violation in fidelity sweep "
+                    f"({result.workload_name} on {configs[key].name}): {violations[0]}"
+                )
+
+    baseline = results["baseline"]
+    ratio = {key: speedups(results[key], baseline) for key in order if key != "baseline"}
+    checks = evaluate_checks(
+        {
+            "m8": _category_geomean(ratio["l15-8"], Category.M_INTENSIVE),
+            "m16": _category_geomean(ratio["l15-16"], Category.M_INTENSIVE),
+            "m32": _category_geomean(ratio["l15-32"], Category.M_INTENSIVE),
+            "c16": _category_geomean(ratio["l15-16"], Category.C_INTENSIVE),
+            "ds_m": _category_geomean(ratio["l15-16-ds"], Category.M_INTENSIVE),
+            "ft8_m": _category_geomean(ratio["opt-8"], Category.M_INTENSIVE),
+            "ft16_m": _category_geomean(ratio["opt-16"], Category.M_INTENSIVE),
+            "curve": sorted_speedup_curve(ratio["opt-8"]),
+            "optimized": geomean(ratio["opt-8"].values()),
+            "l15_alone": geomean(ratio["l15-16"].values()),
+            "monolithic": geomean(ratio["monolithic-256"].values()),
+            "multi_gpu": geomean(ratio["multi-gpu"].values()),
+            "multi_gpu_opt": geomean(ratio["multi-gpu-opt"].values()),
+        }
+    )
+    if fast:
+        checks = [check.widened(FAST_SLACK) for check in checks]
+    return checks
+
+
+def evaluate_checks(data: Dict[str, object]) -> List[FidelityCheck]:
+    """Build every fidelity check from pre-computed headline quantities.
+
+    ``data`` holds the category geomeans and the Figure 15 curve (see
+    :func:`run_fidelity` for the exact keys).  Band rationale: lower edges
+    sit just below the value the model *measures* at the current
+    :data:`~repro.core.config.MODEL_REV` (r7), upper edges allow roughly
+    double the paper's effect size before flagging over-reward.  Where the
+    model undershoots the paper the gap is noted inline — notably Figure 9
+    (measured +8.6% vs paper +23.4%) and Figure 13 (measured +20.2% vs
+    paper +51%), where ``benchmarks/`` still carries the aspirational
+    one-sided thresholds; this gate tracks measured behaviour so that
+    regressions *from here* fail loudly instead of hiding under an
+    already-failing aspiration.
+    """
+    m8 = float(data["m8"])  # type: ignore[arg-type]
+    m16 = float(data["m16"])  # type: ignore[arg-type]
+    m32 = float(data["m32"])  # type: ignore[arg-type]
+    c16 = float(data["c16"])  # type: ignore[arg-type]
+    ds_m = float(data["ds_m"])  # type: ignore[arg-type]
+    ft8_m = float(data["ft8_m"])  # type: ignore[arg-type]
+    ft16_m = float(data["ft16_m"])  # type: ignore[arg-type]
+    curve: Sequence[float] = sorted(data["curve"])  # type: ignore[arg-type]
+    optimized = float(data["optimized"])  # type: ignore[arg-type]
+    l15_alone = float(data["l15_alone"])  # type: ignore[arg-type]
+    monolithic = float(data["monolithic"])  # type: ignore[arg-type]
+    multi_gpu_opt = float(data["multi_gpu_opt"])  # type: ignore[arg-type]
+
+    improved = sum(1 for value in curve if value > 1.0)
+    degraded = sum(1 for value in curve if value < 1.0)
+    return [
+        # Figure 6: the 16 MB remote-only L1.5 helps M-intensive workloads
+        # (paper +11.4%), and capacity ordering holds.
+        FidelityCheck("fig6-16mb-m-geomean", "Fig 6 (+11.4%)", 1.05, 1.45, m16),
+        FidelityCheck("fig6-capacity-32-over-16", "Fig 6 ordering", 0.0, inf, m32 - m16),
+        FidelityCheck("fig6-capacity-16-over-8", "Fig 6 ordering", 0.0, inf, m16 - m8),
+        FidelityCheck("fig6-c-below-m", "Fig 6 C vs M", 0.0, inf, m16 - c16),
+        # Figure 9: distributed scheduling on top of the L1.5.  Paper
+        # reports +23.4%; the r7 model measures +8.6% — band set to the
+        # measured value so further erosion (or sudden over-reward) fails.
+        FidelityCheck("fig9-ds-m-geomean", "Fig 9 (+23.4%, r7 +8.6%)", 1.04, 1.45, ds_m),
+        FidelityCheck("fig9-ds-over-l15", "Fig 9 vs Fig 6", 0.0, inf, ds_m - m16),
+        # Figure 13: the full stack, and the 8 MB split winning.  Paper
+        # reports +51%; the r7 model measures +20.2% (same banding policy).
+        FidelityCheck("fig13-8mb-m-geomean", "Fig 13 (+51%, r7 +20%)", 1.12, 2.20, ft8_m),
+        FidelityCheck("fig13-8mb-over-16mb", "Fig 13 split", 0.0, inf, ft8_m - ft16_m),
+        # Figure 15: the s-curve's shape (paper: 31 up, 9 down, tail 3.5x+).
+        FidelityCheck("fig15-improved", "Fig 15 (31 up)", 24, len(curve), improved),
+        FidelityCheck("fig15-degraded", "Fig 15 (9 down)", 2, len(curve) // 2, degraded),
+        FidelityCheck("fig15-tail", "Fig 15 (max 3.5x)", 2.0, 8.0, curve[-1]),
+        FidelityCheck("fig15-head", "Fig 15 (min ~0.75)", 0.5, 0.97, curve[0]),
+        # Figure 16: contribution breakdown (paper: +5.2% L1.5, +22.8% all).
+        FidelityCheck("fig16-l15-alone", "Fig 16 (+5.2%)", 1.0, 1.15, l15_alone),
+        FidelityCheck("fig16-optimized", "Fig 16 (+22.8%)", 1.15, 1.60, optimized),
+        FidelityCheck(
+            "fig16-gap-to-monolithic",
+            "Fig 16 (within ~10%)",
+            0.90,
+            1.30,
+            monolithic / optimized,
+        ),
+        # Figure 17: the MCM-GPU beats the optimized multi-GPU (paper +26.8%)
+        # and stays near the unbuildable monolithic ceiling.
+        FidelityCheck(
+            "fig17-mcm-over-multi-gpu",
+            "Fig 17 (+26.8%)",
+            1.10,
+            2.00,
+            optimized / multi_gpu_opt,
+        ),
+        FidelityCheck(
+            "fig17-monolithic-over-mcm",
+            "Fig 17 ceiling",
+            0.95,
+            inf,
+            monolithic / optimized,
+        ),
+    ]
+
+
+def report(checks: Sequence[FidelityCheck]) -> str:
+    """Human-readable pass/fail table for a fidelity run."""
+    rows = [
+        [
+            check.name,
+            check.paper_ref,
+            f"[{check.lo:.3g}, {'inf' if check.hi == inf else format(check.hi, '.3g')}]",
+            check.value,
+            "ok" if check.passed else "FAIL",
+        ]
+        for check in checks
+    ]
+    failed = sum(1 for check in checks if not check.passed)
+    table = format_table(["Check", "Paper", "Band", "Value", "Verdict"], rows)
+    verdict = (
+        f"{len(checks)} checks, all passed"
+        if not failed
+        else f"{failed}/{len(checks)} checks FAILED"
+    )
+    return f"{table}\n{verdict}"
+
+
+def run_and_report(fast: bool = False):
+    """Run the gate; returns ``(all_passed, rendered report)``."""
+    checks = run_fidelity(fast=fast)
+    return all(check.passed for check in checks), report(checks)

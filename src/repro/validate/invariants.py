@@ -1,0 +1,369 @@
+"""Conservation invariants over simulation results and live engine state.
+
+The timing model is trusted only because its counters balance: every load
+and store must be accounted for exactly once at every level it touches.
+:func:`check_result` verifies those conservation laws on any finished
+:class:`~repro.sim.result.SimResult` — they are exact identities of the
+request path in :mod:`repro.core.memsys`, not tolerance bands:
+
+* every store and every L1-missing load is routed exactly once, so
+  ``page_local + page_remote == l1.misses + stores``;
+* the remote routing split mirrors the memsys counters exactly, so
+  ``page_remote == remote_loads + remote_stores``;
+* every L2 miss fetches one line and every L2 eviction writes one line,
+  so DRAM array traffic is ``l2 counters x line_bytes`` plus migration;
+* a system that never routed a request remotely carried no link traffic.
+
+:func:`check_live_system` inspects a :class:`~repro.core.gpu.GPUSystem`
+mid-run (cache set occupancy vs associativity, CTA slot accounting,
+bandwidth-pipe bucket occupancy vs capacity); :class:`LiveValidator`
+packages it for the engine's opt-in kernel-boundary hook
+(:meth:`~repro.core.gpu.GPUSystem.attach_validator`).  All checks are
+read-only, so simulation results are bit-identical with or without them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.memsys import LINE_BYTES, REQUEST_HEADER_BYTES
+from ..sim.result import SimResult
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant: which check, and the numbers that broke it."""
+
+    check: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.check}: {self.message}"
+
+
+class InvariantError(RuntimeError):
+    """Raised by :class:`LiveValidator` when a live check fails."""
+
+    def __init__(self, violations: List[Violation]) -> None:
+        self.violations = violations
+        super().__init__(
+            "; ".join(str(violation) for violation in violations) or "invariant violation"
+        )
+
+
+# ----------------------------------------------------------------------
+# Result invariants (conservation laws on a finished SimResult)
+# ----------------------------------------------------------------------
+
+
+def check_result(result: SimResult, config=None) -> List[Violation]:
+    """All conservation violations in ``result`` (empty list == clean).
+
+    ``config``, when given the :class:`~repro.core.config.SystemConfig`
+    the result was produced with, enables the topology-aware link-traffic
+    bounds; without it only configuration-independent laws are checked.
+    """
+    violations: List[Violation] = []
+
+    def fail(check: str, message: str) -> None:
+        violations.append(Violation(check=check, message=message))
+
+    counters = {
+        "cycles": result.cycles,
+        "kernels": result.kernels,
+        "ctas": result.ctas,
+        "records": result.records,
+        "loads": result.loads,
+        "stores": result.stores,
+        "remote_loads": result.remote_loads,
+        "remote_stores": result.remote_stores,
+        "dram_bytes_read": result.dram_bytes_read,
+        "dram_bytes_written": result.dram_bytes_written,
+        "link_bytes": result.link_bytes,
+        "page_local": result.page_local,
+        "page_remote": result.page_remote,
+        "migration_bytes": result.migration_bytes,
+    }
+    for name, value in counters.items():
+        if value < 0:
+            fail("non-negative", f"{name} is negative ({value})")
+    for level in ("l1", "l15", "l2"):
+        stats = getattr(result, level)
+        for field in ("hits", "misses", "writebacks", "flushes", "bypasses"):
+            value = getattr(stats, field)
+            if value < 0:
+                fail("non-negative", f"{level}.{field} is negative ({value})")
+        if stats.accesses != stats.hits + stats.misses:
+            fail(
+                "cache-accesses",
+                f"{level}: hits + misses ({stats.hits} + {stats.misses}) "
+                f"!= accesses ({stats.accesses})",
+            )
+
+    if result.remote_loads > result.loads:
+        fail("remote-subset", f"remote_loads {result.remote_loads} > loads {result.loads}")
+    if result.remote_stores > result.stores:
+        fail(
+            "remote-subset",
+            f"remote_stores {result.remote_stores} > stores {result.stores}",
+        )
+
+    # L1: every load looks up the L1; stores touch it only when the line is
+    # resident (write-through no-allocate probe), and such touches always
+    # hit — so L1 misses are load misses exactly.
+    if result.l1.misses > result.loads:
+        fail("l1-misses", f"l1.misses {result.l1.misses} > loads {result.loads}")
+    if not result.loads <= result.l1.accesses <= result.loads + result.stores:
+        fail(
+            "l1-accesses",
+            f"l1.accesses {result.l1.accesses} outside "
+            f"[loads, loads + stores] = [{result.loads}, {result.loads + result.stores}]",
+        )
+
+    # Routing conservation: every L1-missing load and every store is
+    # classified by exactly one crossbar.
+    routed = result.page_local + result.page_remote
+    expected_routed = result.l1.misses + result.stores
+    if routed != expected_routed:
+        fail(
+            "routing-conservation",
+            f"page_local + page_remote ({routed}) != "
+            f"l1.misses + stores ({expected_routed})",
+        )
+    if result.page_remote != result.remote_loads + result.remote_stores:
+        fail(
+            "remote-conservation",
+            f"page_remote ({result.page_remote}) != remote_loads + remote_stores "
+            f"({result.remote_loads + result.remote_stores})",
+        )
+
+    # L1.5 sits behind the L1 on the routed path only.
+    if result.l15.accesses > expected_routed:
+        fail(
+            "l15-accesses",
+            f"l15.accesses {result.l15.accesses} > routed requests {expected_routed}",
+        )
+
+    # L2 sees every routed request except L1.5 load hits.
+    if result.l2.accesses > expected_routed:
+        fail(
+            "l2-accesses",
+            f"l2.accesses {result.l2.accesses} > routed requests {expected_routed}",
+        )
+    if result.l2.accesses < expected_routed - result.l15.hits:
+        fail(
+            "l2-accesses",
+            f"l2.accesses {result.l2.accesses} < routed - l15.hits "
+            f"({expected_routed} - {result.l15.hits})",
+        )
+
+    # DRAM conservation: one line fetched per L2 miss (reads and
+    # write-allocates alike), one line written per L2 eviction write-back,
+    # plus whole-page copies charged by dynamic migration.
+    expected_read = result.l2.misses * result.line_bytes + result.migration_bytes
+    if result.dram_bytes_read != expected_read:
+        fail(
+            "dram-read-conservation",
+            f"dram_bytes_read {result.dram_bytes_read} != l2.misses x line_bytes "
+            f"+ migration_bytes ({expected_read})",
+        )
+    expected_written = result.l2.writebacks * result.line_bytes + result.migration_bytes
+    if result.dram_bytes_written != expected_written:
+        fail(
+            "dram-write-conservation",
+            f"dram_bytes_written {result.dram_bytes_written} != l2.writebacks x "
+            f"line_bytes + migration_bytes ({expected_written})",
+        )
+
+    # Link traffic: a machine that never went remote moved nothing on-package.
+    if result.page_remote == 0 and result.migration_bytes == 0 and result.link_bytes != 0:
+        fail(
+            "link-zero",
+            f"no remote requests or migrations, yet link_bytes = {result.link_bytes}",
+        )
+    if config is not None:
+        violations.extend(_check_link_bounds(result, config))
+    return violations
+
+
+def _check_link_bounds(result: SimResult, config) -> List[Violation]:
+    """Topology-aware bounds tying ``link_bytes`` to remote traffic volume.
+
+    ``link_bytes`` counts every hop a message traverses.  A remote load
+    that reaches the ring moves a request header out and a header + line
+    back; a remote store moves a header + line out; L1.5 load hits reach
+    the ring not at all.  Hop counts are bounded by the topology's
+    diameter (1 for fully-connected, ``n // 2`` for the ring).
+    """
+    violations: List[Violation] = []
+    if config.n_gpms <= 1:
+        return violations
+    max_hops = 1 if config.topology == "fully_connected" else max(1, config.n_gpms // 2)
+    load_bytes = 2 * REQUEST_HEADER_BYTES + LINE_BYTES
+    store_bytes = REQUEST_HEADER_BYTES + LINE_BYTES
+    # L1.5 hits include store probe-hits (which still ride the ring), so
+    # subtracting all hits from remote loads under-counts ring transactions
+    # — a valid lower bound.
+    ring_loads = max(0, result.remote_loads - result.l15.hits)
+    lower = ring_loads * load_bytes + result.remote_stores * store_bytes
+    upper = (
+        result.remote_loads * load_bytes
+        + result.remote_stores * store_bytes
+        + result.migration_bytes
+    ) * max_hops
+    if result.link_bytes < lower:
+        violations.append(
+            Violation(
+                check="link-lower-bound",
+                message=f"link_bytes {result.link_bytes} < minimum remote traffic {lower}",
+            )
+        )
+    if result.link_bytes > upper:
+        violations.append(
+            Violation(
+                check="link-upper-bound",
+                message=f"link_bytes {result.link_bytes} > maximum remote traffic {upper}",
+            )
+        )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Live structural invariants (mid-run GPUSystem state)
+# ----------------------------------------------------------------------
+
+
+def _all_pipes(system):
+    for gpm in system.gpms:
+        yield gpm.dram.pipe
+    for link in system.ring.links:
+        yield link.request_pipe
+        yield link.response_pipe
+
+
+def _all_caches(system):
+    for gpm in system.gpms:
+        for sm in gpm.sms:
+            yield sm.l1
+        if gpm.l15 is not None:
+            yield gpm.l15
+        yield gpm.l2
+
+
+def check_live_system(system) -> List[Violation]:
+    """Structural violations in a (possibly mid-run) ``GPUSystem``."""
+    violations: List[Violation] = []
+
+    for pipe in _all_pipes(system):
+        overfull = pipe.overfull_buckets()
+        if overfull:
+            bucket, occupied = overfull[0]
+            violations.append(
+                Violation(
+                    check="pipe-occupancy",
+                    message=(
+                        f"{pipe.name}: bucket {bucket} holds {occupied:.1f}B "
+                        f"> capacity {pipe.bucket_capacity:.1f}B "
+                        f"({len(overfull)} overfull bucket(s))"
+                    ),
+                )
+            )
+
+    for cache in _all_caches(system):
+        resident = cache.resident_lines()
+        if resident > cache.capacity_lines:
+            violations.append(
+                Violation(
+                    check="cache-capacity",
+                    message=(
+                        f"{cache.name}: {resident} resident lines "
+                        f"> capacity {cache.capacity_lines}"
+                    ),
+                )
+            )
+        for index, cache_set in enumerate(cache._sets):
+            if len(cache_set) > cache.ways:
+                violations.append(
+                    Violation(
+                        check="cache-associativity",
+                        message=(
+                            f"{cache.name}: set {index} holds {len(cache_set)} lines "
+                            f"> {cache.ways} ways"
+                        ),
+                    )
+                )
+                break  # one set per cache is enough to flag corruption
+
+    for gpm in system.gpms:
+        for sm in gpm.sms:
+            limit = sm.config.max_resident_ctas
+            if not 0 <= sm.free_cta_slots <= limit:
+                violations.append(
+                    Violation(
+                        check="cta-slots",
+                        message=(
+                            f"SM {sm.sm_id}: free_cta_slots {sm.free_cta_slots} "
+                            f"outside [0, {limit}]"
+                        ),
+                    )
+                )
+        if gpm.xbar.local_requests < 0 or gpm.xbar.remote_requests < 0:
+            violations.append(
+                Violation(
+                    check="xbar-counters",
+                    message=f"GPM {gpm.gpm_id}: negative crossbar counters",
+                )
+            )
+    return violations
+
+
+class LiveValidator:
+    """Engine hook running structural checks at kernel boundaries.
+
+    Attach with :meth:`~repro.core.gpu.GPUSystem.attach_validator` (or pass
+    ``validator=`` to the helpers in :mod:`repro.validate`).  After every
+    kernel the validator re-checks the live system; after the run it also
+    checks the collected result's conservation laws.  ``strict`` (default)
+    raises :class:`InvariantError` on the first violation; otherwise
+    violations accumulate in :attr:`violations`.
+    """
+
+    def __init__(self, strict: bool = True) -> None:
+        self.strict = strict
+        self.violations: List[Violation] = []
+        self.kernels_checked = 0
+        self.runs_checked = 0
+
+    def _absorb(self, violations: List[Violation]) -> None:
+        if not violations:
+            return
+        self.violations.extend(violations)
+        if self.strict:
+            raise InvariantError(violations)
+
+    def after_kernel(self, system, clock: float) -> None:
+        """Engine callback: one kernel just drained at ``clock``."""
+        self.kernels_checked += 1
+        violations = check_live_system(system)
+        if clock < 0:
+            violations.append(
+                Violation(check="clock", message=f"negative kernel-end clock {clock}")
+            )
+        self._absorb(violations)
+
+    def after_run(self, system, result: SimResult) -> None:
+        """Engine callback: the run completed and ``result`` was collected."""
+        self.runs_checked += 1
+        self._absorb(check_result(result, config=system.config))
+
+
+def validated_run(workload, config, strict: bool = True):
+    """Simulate with a live validator attached; returns ``(result, validator)``."""
+    from ..sim.simulator import Simulator
+
+    simulator = Simulator(config)
+    validator = LiveValidator(strict=strict)
+    simulator.system.attach_validator(validator)
+    result = simulator.run(workload)
+    return result, validator

@@ -62,6 +62,22 @@ class TestGeomean:
         values = [0.5, 1.0, 4.0]
         assert geomean(values) < sum(values) / len(values)
 
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="positive"):
+            geomean([1.0, -2.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            geomean([1.0, math.nan])
+
+    def test_rejects_infinity(self):
+        with pytest.raises(ValueError, match="finite"):
+            geomean([math.inf, 2.0])
+
+    def test_error_names_offending_values(self):
+        with pytest.raises(ValueError, match=r"\[0\.0\]"):
+            geomean([1.0, 0.0, 2.0])
+
 
 class TestSpeedups:
     def test_per_workload(self):
@@ -120,6 +136,27 @@ class TestReport:
     def test_format_table_rejects_ragged_rows(self):
         with pytest.raises(ValueError, match="cells"):
             format_table(["a", "b"], [["only-one"]])
+
+    def test_format_table_empty_rows(self):
+        table = format_table(["a", "bb"], [])
+        lines = table.splitlines()
+        assert lines[0].rstrip() == "a  bb"
+        assert len(lines) == 2  # header + rule, no body
+
+    def test_format_table_float_formatting(self):
+        table = format_table(
+            ["v"], [[0.0], [1.2345], [12.345], [1234.5]]
+        )
+        body = table.splitlines()[2:]
+        assert body[0].strip() == "0"
+        assert body[1].strip() == "1.234"  # three decimals under 10
+        assert body[2].strip() == "12.3"  # one decimal from 10 up
+        assert body[3].strip() == "1,234"  # thousands separator from 1000 up
+
+    def test_format_table_pads_to_widest_cell(self):
+        table = format_table(["x"], [["short"], ["a-much-longer-cell"]])
+        header, rule, *_ = table.splitlines()
+        assert len(header) == len(rule) == len("a-much-longer-cell")
 
     def test_format_series_chunks(self):
         text = format_series("s", list(range(25)), per_line=10)

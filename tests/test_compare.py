@@ -76,6 +76,37 @@ class TestBuildMatrix:
         with pytest.raises(ValueError, match="at least one"):
             build_matrix(full_suite_results(1.0), {})
 
+    def test_strict_raises_on_dropped_workloads(self):
+        partial = full_suite_results(0.5)
+        del partial["Stream"]
+        with pytest.raises(ValueError, match="Stream"):
+            build_matrix(full_suite_results(1.0), {"partial": partial}, strict=True)
+
+    def test_strict_passes_on_complete_rows(self):
+        matrix = build_matrix(
+            full_suite_results(1.0), {"x": full_suite_results(0.5)}, strict=True
+        )
+        assert len(matrix.rows) == 48
+
+    def test_dropped_workloads_logged(self, caplog):
+        partial = full_suite_results(0.5)
+        del partial["Stream"]
+        with caplog.at_level("WARNING", logger="repro.analysis.compare"):
+            build_matrix(full_suite_results(1.0), {"partial": partial})
+        assert any("Stream" in record.message for record in caplog.records)
+
+    def test_best_configuration_tie_breaks_to_first_label(self):
+        matrix = build_matrix(
+            full_suite_results(1.0),
+            {"first": full_suite_results(0.5), "twin": full_suite_results(0.5)},
+        )
+        assert matrix.best_configuration() == "first"
+
+    def test_column_missing_label_raises_keyerror(self):
+        matrix = build_matrix(full_suite_results(1.0), {"x": full_suite_results(0.5)})
+        with pytest.raises(KeyError, match="'x'"):
+            matrix.column("nope")
+
 
 class TestRenderMatrix:
     def test_render_contains_rows_and_footers(self):

@@ -1,0 +1,296 @@
+"""Tests for the validation subsystem (invariants, properties, golden, fidelity)."""
+
+import importlib.util
+import sys
+import types
+from dataclasses import replace
+from math import inf
+from pathlib import Path
+
+import pytest
+
+from repro.core.presets import baseline_mcm_gpu, optimized_mcm_gpu
+from repro.sim.simulator import Simulator
+from repro.validate import (
+    GoldenStore,
+    InvariantError,
+    LiveValidator,
+    check_live_system,
+    check_result,
+    evaluate_checks,
+    validated_run,
+)
+from repro.validate.fidelity import FidelityCheck, report as fidelity_report
+from repro.validate.golden import metrics_of, run_golden_matrix
+from repro.validate.properties import micro_suite, run_properties
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the shared result cache at a per-test directory."""
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+@pytest.fixture(scope="module")
+def real_run():
+    workload = micro_suite(1)[0]
+    config = baseline_mcm_gpu()
+    return Simulator(config).run(workload), config
+
+
+class TestCheckResult:
+    def test_clean_on_real_simulation(self, real_run):
+        result, config = real_run
+        assert check_result(result, config=config) == []
+
+    def test_clean_without_config(self, real_run):
+        result, _ = real_run
+        assert check_result(result) == []
+
+    @pytest.mark.parametrize(
+        "field, delta, expected_check",
+        [
+            ("dram_bytes_read", 128, "dram-read-conservation"),
+            ("dram_bytes_written", 128, "dram-write-conservation"),
+            ("page_remote", 1, "routing-conservation"),
+            ("remote_loads", 1, "remote-conservation"),
+            ("loads", -1, "l1-misses"),
+        ],
+    )
+    def test_tampering_is_caught(self, real_run, field, delta, expected_check):
+        result, config = real_run
+        tampered = replace(result, **{field: getattr(result, field) + delta})
+        checks = {v.check for v in check_result(tampered, config=config)}
+        assert expected_check in checks
+
+    def test_negative_counter_is_caught(self, real_run):
+        result, _ = real_run
+        tampered = replace(result, link_bytes=-1)
+        checks = {v.check for v in check_result(tampered)}
+        assert "non-negative" in checks
+
+    def test_link_bytes_out_of_band_is_caught(self, real_run):
+        result, config = real_run
+        inflated = replace(result, link_bytes=result.link_bytes * 100)
+        checks = {v.check for v in check_result(inflated, config=config)}
+        assert "link-upper-bound" in checks
+        deflated = replace(result, link_bytes=0)
+        checks = {v.check for v in check_result(deflated, config=config)}
+        assert "link-lower-bound" in checks
+
+    def test_phantom_link_traffic_is_caught(self, real_run):
+        result, _ = real_run
+        phantom = replace(
+            result,
+            remote_loads=0,
+            remote_stores=0,
+            page_local=result.page_local + result.page_remote,
+            page_remote=0,
+            link_bytes=4096,
+        )
+        checks = {v.check for v in check_result(phantom)}
+        assert "link-zero" in checks
+
+
+class TestLiveValidator:
+    def test_validated_run_is_clean_and_checked(self):
+        workload = micro_suite(1)[0]
+        result, validator = validated_run(workload, optimized_mcm_gpu())
+        assert validator.kernels_checked >= 1
+        assert validator.runs_checked == 1
+        assert validator.violations == []
+        assert result.cycles > 0
+
+    def test_results_bit_identical_with_and_without(self):
+        workload = micro_suite(1)[0]
+        config = baseline_mcm_gpu()
+        plain = Simulator(config).run(workload)
+        validated, _ = validated_run(workload, config)
+        assert plain == validated
+
+    def test_strict_raises_on_violation(self, real_run):
+        result, config = real_run
+        simulator = Simulator(config)
+        validator = LiveValidator(strict=True)
+        tampered = replace(result, dram_bytes_read=result.dram_bytes_read + 1)
+        with pytest.raises(InvariantError, match="dram-read-conservation"):
+            validator.after_run(simulator.system, tampered)
+
+    def test_non_strict_accumulates(self, real_run):
+        result, config = real_run
+        simulator = Simulator(config)
+        validator = LiveValidator(strict=False)
+        tampered = replace(result, dram_bytes_read=result.dram_bytes_read + 1)
+        validator.after_run(simulator.system, tampered)
+        assert any(v.check == "dram-read-conservation" for v in validator.violations)
+
+    def test_live_system_clean_after_run(self):
+        config = baseline_mcm_gpu()
+        simulator = Simulator(config)
+        simulator.run(micro_suite(1)[0])
+        assert check_live_system(simulator.system) == []
+
+
+class TestProperties:
+    def test_all_properties_pass_on_micro_suite(self):
+        outcomes = run_properties(micro_suite(1))
+        assert [outcome.name for outcome in outcomes] == [
+            "bandwidth-monotonic",
+            "l15-link-bytes",
+            "locality-stack",
+            "single-gpm-local",
+            "deterministic",
+        ]
+        failed = [outcome for outcome in outcomes if not outcome.passed]
+        assert not failed, failed
+
+    def test_micro_suite_bounds(self):
+        assert len(micro_suite(4)) == 4
+        with pytest.raises(ValueError):
+            micro_suite(0)
+        with pytest.raises(ValueError):
+            micro_suite(5)
+
+
+class TestGolden:
+    def small_matrix(self):
+        return run_golden_matrix(
+            configs=[baseline_mcm_gpu()], workloads=micro_suite(1)
+        )
+
+    def test_bless_then_compare_round_trips(self, tmp_path):
+        store = GoldenStore(tmp_path / "metrics.json")
+        results = self.small_matrix()
+        store.bless(results)
+        report = store.compare(results)
+        assert report.clean
+        assert "reproduced exactly" in report.render(telemetry=False)
+
+    def test_perturbation_produces_drift(self, tmp_path):
+        store = GoldenStore(tmp_path / "metrics.json")
+        results = self.small_matrix()
+        store.bless(results)
+        perturbed = [replace(results[0], cycles=results[0].cycles * 1.05)]
+        report = store.compare(perturbed)
+        assert not report.clean
+        drifted = {drift.metric for drift in report.drifts}
+        assert "cycles" in drifted
+        cycles_drift = next(d for d in report.drifts if d.metric == "cycles")
+        assert cycles_drift.rel_delta == pytest.approx(0.05)
+        assert "cycles" in report.render(telemetry=False)
+
+    def test_added_and_removed_keys_reported(self, tmp_path):
+        store = GoldenStore(tmp_path / "metrics.json")
+        results = self.small_matrix()
+        store.bless(results)
+        renamed = [replace(results[0], system_name="other-system")]
+        report = store.compare(renamed)
+        assert not report.clean
+        assert report.removed_keys and report.added_keys
+
+    def test_digest_change_flagged(self, tmp_path):
+        store = GoldenStore(tmp_path / "metrics.json")
+        results = self.small_matrix()
+        store.bless(results)
+        moved = [replace(results[0], system_digest="different")]
+        report = store.compare(moved)
+        assert any("system digest" in note for note in report.digest_changes)
+
+    def test_metrics_cover_headline_counters(self, tmp_path):
+        metrics = metrics_of(self.small_matrix()[0])
+        for key in ("cycles", "link_bytes", "dram_bytes_read", "l2_misses"):
+            assert key in metrics
+
+
+def synthetic_fidelity_data(**overrides):
+    data = {
+        "m8": 1.10,
+        "m16": 1.12,
+        "m32": 1.15,
+        "c16": 1.02,
+        "ds_m": 1.25,
+        "ft8_m": 1.55,
+        "ft16_m": 1.40,
+        "curve": [0.85] * 3 + [1.2] * 43 + [2.5, 3.0],
+        "optimized": 1.25,
+        "l15_alone": 1.06,
+        "monolithic": 1.35,
+        "multi_gpu": 0.95,
+        "multi_gpu_opt": 1.05,
+    }
+    data.update(overrides)
+    return data
+
+
+class TestFidelity:
+    def test_synthetic_paper_shape_passes(self):
+        checks = evaluate_checks(synthetic_fidelity_data())
+        failed = [check for check in checks if not check.passed]
+        assert not failed, failed
+
+    def test_broken_ordering_fails(self):
+        checks = evaluate_checks(synthetic_fidelity_data(m16=1.20, m32=1.10))
+        by_name = {check.name: check for check in checks}
+        assert not by_name["fig6-capacity-32-over-16"].passed
+
+    def test_over_reward_fails_high(self):
+        checks = evaluate_checks(synthetic_fidelity_data(ft8_m=3.0))
+        by_name = {check.name: check for check in checks}
+        assert not by_name["fig13-8mb-m-geomean"].passed
+
+    def test_widened_bands_absorb_drift(self):
+        check = FidelityCheck("x", "ref", 1.1, 1.3, 1.05)
+        assert not check.passed
+        assert check.widened(0.10).passed
+
+    def test_report_renders_verdicts(self):
+        checks = evaluate_checks(synthetic_fidelity_data())
+        text = fidelity_report(checks)
+        assert "all passed" in text
+        broken = [replace(checks[0], value=-1.0)] + checks[1:]
+        assert "FAILED" in fidelity_report(broken)
+
+    def test_bands_cover_headline_figures(self):
+        names = {check.name for check in evaluate_checks(synthetic_fidelity_data())}
+        for fig in ("fig6", "fig9", "fig13", "fig15", "fig16", "fig17"):
+            assert any(name.startswith(fig) for name in names)
+
+
+class TestRunExperimentExitCode:
+    def load_script(self):
+        path = Path(__file__).resolve().parents[1] / "scripts" / "run_experiment.py"
+        spec = importlib.util.spec_from_file_location("run_experiment_script", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def fake_experiments(self, fail):
+        def boom():
+            raise RuntimeError("experiment exploded")
+
+        def fine():
+            return "ok"
+
+        exp = types.SimpleNamespace(
+            __doc__="Fake experiment.",
+            run_fake=boom if fail else fine,
+            report=lambda result=None: "fake report",
+        )
+        return {"fake": (exp, "run_fake")}
+
+    def test_failing_experiment_exits_nonzero(self, monkeypatch, capsys):
+        script = self.load_script()
+        monkeypatch.setattr(script, "EXPERIMENTS", self.fake_experiments(fail=True))
+        monkeypatch.setattr(sys, "argv", ["run_experiment.py", "fake"])
+        assert script.main() == 1
+        captured = capsys.readouterr()
+        assert "experiment exploded" in captured.err
+        assert "fake" in captured.err
+
+    def test_passing_experiment_exits_zero(self, monkeypatch, capsys):
+        script = self.load_script()
+        monkeypatch.setattr(script, "EXPERIMENTS", self.fake_experiments(fail=False))
+        monkeypatch.setattr(sys, "argv", ["run_experiment.py", "fake"])
+        assert script.main() == 0
+        assert "fake report" in capsys.readouterr().out
