@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Design-space exploration CLI (see ``src/repro/explore/``).
+
+Usage:
+    python scripts/explore.py --list                      # show built-in sweeps
+    python scripts/explore.py --sweep link_l15 --fast     # quick full-pipeline run
+    python scripts/explore.py --sweep link_l15            # the real thing (slower)
+    python scripts/explore.py --sweep smoke --out /tmp/x  # CI-sized smoke sweep
+
+Each sweep enumerates its candidate grid, ranks it by successive halving
+(cheap screening rung, survivors promoted to the expensive rung), extracts
+the Pareto frontier over (geomean speedup, link bandwidth, energy), runs
+one-at-a-time sensitivity, and — where the sweep poses a threshold
+question — bisects for the crossover point.  Artifacts land under
+``<out>/<sweep>/``: ``report.json`` and ``report.txt`` are bit-identical
+across re-runs with the same seed; ``run.json`` carries this run's cost
+accounting (a warm re-run shows everything cache-served).
+
+``--fast`` scales every rung's workloads down by 4x (the ``validate
+--fast`` trick): same qualitative shapes, minutes instead of tens of
+minutes.  Suite runs fan out over the process pool (``--workers`` /
+``REPRO_WORKERS``) and share the disk result cache.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+
+def main() -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description="Explore the MCM-GPU design space.")
+    parser.add_argument(
+        "--sweep",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="built-in sweep to run (repeatable; see --list)",
+    )
+    parser.add_argument("--list", action="store_true", help="list built-in sweeps")
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="4x-smaller workloads on every rung (qualitative shapes only)",
+    )
+    parser.add_argument(
+        "--out",
+        default="explore",
+        metavar="DIR",
+        help="artifact root; each sweep writes <out>/<sweep>/ (default: explore)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for randomized sweep strategies (default: 0)",
+    )
+    parser.add_argument(
+        "--keep",
+        type=float,
+        default=0.5,
+        metavar="F",
+        help="fraction of candidates promoted per halving rung (default: 0.5)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size for suite runs (overrides REPRO_WORKERS)",
+    )
+    opts = parser.parse_args()
+    if opts.workers is not None:
+        os.environ["REPRO_WORKERS"] = str(opts.workers)
+
+    from pathlib import Path
+
+    from repro.explore import BUILTIN_SWEEPS, build_plan, run_sweep, write_artifacts
+    from repro.explore.report import render_text
+    from repro.experiments.common import default_cache
+    from repro.parallel import GLOBAL_METRICS
+
+    if opts.list or not opts.sweep:
+        print("built-in sweeps:")
+        for key, (description, _) in BUILTIN_SWEEPS.items():
+            print(f"  {key:<12} {description}")
+        if not opts.list:
+            print("\nusage: python scripts/explore.py --sweep <name> [--fast]")
+        return 0
+
+    unknown = [key for key in opts.sweep if key not in BUILTIN_SWEEPS]
+    if unknown:
+        print(f"unknown sweep(s): {', '.join(unknown)}", file=sys.stderr)
+        return 1
+
+    failed = False
+    for key in opts.sweep:
+        GLOBAL_METRICS.reset()
+        start = time.time()
+        plan = build_plan(key, fast=opts.fast, seed=opts.seed)
+        report = run_sweep(plan, keep_fraction=opts.keep)
+        paths = write_artifacts(report, Path(opts.out), cache=default_cache())
+        print(render_text(report))
+        metrics = GLOBAL_METRICS.report(per_config=False)
+        if metrics != "no suite runs recorded":
+            print(f"[{key} throughput] {metrics}")
+        print(f"[{key}: {time.time() - start:.1f}s -> {paths['report.json'].parent}]\n")
+        if not report.frontier:
+            print(f"[{key}: empty Pareto frontier — check the sweep]", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

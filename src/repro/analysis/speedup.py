@@ -82,6 +82,16 @@ def bandwidth_reduction_factor(
     return base_bytes / opt_bytes
 
 
+def suite_energy_joules(results: Mapping[str, SimResult]) -> float:
+    """Total data-movement energy across a suite run, in joules.
+
+    Sums each result's :class:`~repro.core.energy.EnergyBreakdown` total
+    (on-chip, inter-module at the system's link tier, DRAM) — the energy
+    objective design-space sweeps minimize.
+    """
+    return sum(result.energy.total_joules for result in results.values())
+
+
 def sorted_speedup_curve(per_workload: Mapping[str, float]) -> List[float]:
     """Speedups sorted ascending — the Figure 15 s-curve series."""
     return sorted(per_workload.values())

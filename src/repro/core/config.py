@@ -12,10 +12,12 @@ without simulating multi-gigabyte traces; see DESIGN.md ("Substitutions").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Optional
 
 from ..memory.cache import AllocationPolicy, WritePolicy
+from ..memory.placement import PLACEMENT_POLICIES
+from .energy import IntegrationTier
 
 #: Scale factor applied to cache capacities and workload footprints.  The
 #: ratio between them — what drives hit rates — is preserved exactly.
@@ -63,6 +65,25 @@ class CacheConfig:
             return self
         return replace(self, size_bytes=scaled_bytes(self.size_bytes, scale))
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (enums as their values) for JSON serialization."""
+        return {
+            "size_bytes": self.size_bytes,
+            "ways": self.ways,
+            "line_bytes": self.line_bytes,
+            "hit_latency": self.hit_latency,
+            "write_policy": self.write_policy.value,
+            "allocation": self.allocation.value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CacheConfig":
+        """Inverse of :meth:`to_dict`."""
+        payload = dict(data)
+        payload["write_policy"] = WritePolicy(payload["write_policy"])
+        payload["allocation"] = AllocationPolicy(payload["allocation"])
+        return cls(**payload)
+
 
 @dataclass(frozen=True)
 class SMConfig:
@@ -84,6 +105,23 @@ class SMConfig:
         """Paper-equivalent warp capacity of the SM."""
         return self.warp_groups * self.warps_per_group
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for JSON serialization."""
+        return {
+            "l1": self.l1.to_dict(),
+            "warp_groups": self.warp_groups,
+            "warps_per_group": self.warps_per_group,
+            "issue_throughput": self.issue_throughput,
+            "max_resident_ctas": self.max_resident_ctas,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SMConfig":
+        """Inverse of :meth:`to_dict`."""
+        payload = dict(data)
+        payload["l1"] = CacheConfig.from_dict(payload["l1"])
+        return cls(**payload)
+
 
 @dataclass(frozen=True)
 class GPMConfig:
@@ -99,6 +137,29 @@ class GPMConfig:
     #: Extra lookup latency charged to remote requests that miss in the
     #: L1.5 (the tag check sits on the critical path before the ring).
     l15_miss_penalty: float = 8.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for JSON serialization."""
+        return {
+            "n_sms": self.n_sms,
+            "sm": self.sm.to_dict(),
+            "l2": self.l2.to_dict(),
+            "l15": None if self.l15 is None else self.l15.to_dict(),
+            "dram_bandwidth": self.dram_bandwidth,
+            "dram_latency": self.dram_latency,
+            "xbar_latency": self.xbar_latency,
+            "l15_miss_penalty": self.l15_miss_penalty,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "GPMConfig":
+        """Inverse of :meth:`to_dict`."""
+        payload = dict(data)
+        payload["sm"] = SMConfig.from_dict(payload["sm"])
+        payload["l2"] = CacheConfig.from_dict(payload["l2"])
+        if payload.get("l15") is not None:
+            payload["l15"] = CacheConfig.from_dict(payload["l15"])
+        return cls(**payload)
 
 
 @dataclass(frozen=True)
@@ -140,6 +201,17 @@ class SystemConfig:
             raise ValueError(f"unknown scheduler {self.scheduler!r}")
         if self.topology not in ("ring", "fully_connected"):
             raise ValueError(f"unknown topology {self.topology!r}")
+        if self.placement not in PLACEMENT_POLICIES:
+            known = ", ".join(sorted(PLACEMENT_POLICIES))
+            raise ValueError(
+                f"unknown placement {self.placement!r}; expected one of: {known}"
+            )
+        valid_tiers = tuple(tier.value for tier in IntegrationTier)
+        if self.link_tier not in valid_tiers:
+            raise ValueError(
+                f"unknown link_tier {self.link_tier!r}; "
+                f"expected one of: {', '.join(valid_tiers)}"
+            )
 
     @property
     def total_sms(self) -> int:
@@ -169,20 +241,65 @@ class SystemConfig:
         return self.total_sms * self.gpm.sm.max_resident_ctas
 
     def digest(self) -> str:
-        """Stable string identifying this configuration (for result caches)."""
+        """Stable string identifying this configuration (for result caches).
+
+        Every field that can change a simulation's outcome (or a cached
+        result's derived metrics, e.g. ``link_tier`` selecting the energy
+        cost per bit) must appear here: the disk result cache is keyed by
+        this string, so an omission makes distinct configurations collide.
+        Changing the digest format self-invalidates old cache entries —
+        stale keys simply never match again (see ``ResultCache.prune``).
+        """
         l15 = self.gpm.l15
         l15_part = (
             "none"
             if l15 is None or l15.size_bytes == 0
-            else f"{l15.size_bytes}:{l15.allocation.value}"
+            else f"{l15.size_bytes}x{l15.ways}:{l15.allocation.value}"
         )
         l15_lat = 0.0 if l15 is None else l15.hit_latency
+        sm = self.gpm.sm
         return (
             f"r{MODEL_REV}|{self.name}|g{self.n_gpms}x{self.gpm.n_sms}"
-            f"|l1:{self.gpm.sm.l1.size_bytes}|l15:{l15_part}"
-            f"|l2:{self.gpm.l2.size_bytes}"
-            f"|lat:{self.gpm.sm.l1.hit_latency}:{l15_lat}:{self.gpm.l2.hit_latency}"
+            f"|sm:{sm.warp_groups}x{sm.warps_per_group}"
+            f"@{sm.issue_throughput}:{sm.max_resident_ctas}"
+            f"|l1:{sm.l1.size_bytes}x{sm.l1.ways}|l15:{l15_part}"
+            f"|l2:{self.gpm.l2.size_bytes}x{self.gpm.l2.ways}"
+            f"|lat:{sm.l1.hit_latency}:{l15_lat}:{self.gpm.l2.hit_latency}"
+            f"|xbar:{self.gpm.xbar_latency}:{self.gpm.l15_miss_penalty}"
             f"|dram:{self.gpm.dram_bandwidth}@{self.gpm.dram_latency}"
             f"|link:{self.link_bandwidth}@{self.hop_latency}:{self.topology}"
+            f":{self.link_tier}"
             f"|sched:{self.scheduler}|place:{self.placement}|pg:{self.page_bytes}"
+            f"|ln:{self.line_bytes}"
         )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-serializable) of the whole configuration.
+
+        Round-trips through :meth:`from_dict`; used to serialize sweep
+        candidates into ``explore/`` artifacts.
+        """
+        return {
+            "name": self.name,
+            "n_gpms": self.n_gpms,
+            "gpm": self.gpm.to_dict(),
+            "link_bandwidth": self.link_bandwidth,
+            "hop_latency": self.hop_latency,
+            "scheduler": self.scheduler,
+            "placement": self.placement,
+            "page_bytes": self.page_bytes,
+            "line_bytes": self.line_bytes,
+            "link_tier": self.link_tier,
+            "topology": self.topology,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SystemConfig":
+        """Inverse of :meth:`to_dict` (unknown keys rejected loudly)."""
+        payload = dict(data)
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown SystemConfig fields: {unknown}")
+        payload["gpm"] = GPMConfig.from_dict(payload["gpm"])
+        return cls(**payload)

@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
@@ -31,7 +32,7 @@ try:  # advisory file locking; absent on some exotic platforms
 except ImportError:  # pragma: no cover - POSIX always has fcntl
     fcntl = None  # type: ignore[assignment]
 
-from ..core.config import SystemConfig
+from ..core.config import MODEL_REV, SystemConfig
 from ..sim.result import SimResult
 from ..sim.simulator import Simulator
 from ..workloads.suite import suite_workloads
@@ -44,6 +45,41 @@ def _default_cache_dir() -> Path:
     if env:
         return Path(env)
     return Path(__file__).resolve().parents[3] / ".repro_cache"
+
+
+@dataclass(frozen=True)
+class CacheStoreStats:
+    """Snapshot of a :class:`ResultCache`'s contents (see ``stats()``).
+
+    ``stale_entries`` counts entries whose system digest carries a
+    ``r<N>|`` model-revision prefix different from the current
+    :data:`~repro.core.config.MODEL_REV` — dead weight that can never be
+    served again and that :meth:`ResultCache.prune` reclaims.
+    """
+
+    entries: int
+    bytes_on_disk: int
+    stale_entries: int
+    entries_by_rev: Dict[int, int]
+
+
+def _key_model_rev(key: str) -> Optional[int]:
+    """Model revision parsed from a cache key's ``r<N>|`` digest prefix.
+
+    Keys are ``<workload digest>##<system digest>`` and system digests
+    lead with ``r<MODEL_REV>|``; returns None for keys that do not parse
+    (foreign or hand-edited entries).
+    """
+    _, sep, system_digest = key.partition("##")
+    if not sep or not system_digest.startswith("r"):
+        return None
+    rev, sep, _ = system_digest[1:].partition("|")
+    if not sep:
+        return None
+    try:
+        return int(rev)
+    except ValueError:
+        return None
 
 
 class ResultCache:
@@ -147,6 +183,68 @@ class ResultCache:
     def __len__(self) -> int:
         self._load()
         return len(self._memory)
+
+    def stats(self, model_rev: int = MODEL_REV) -> CacheStoreStats:
+        """Entry count, disk footprint, and stale-revision census.
+
+        ``model_rev`` is the revision considered *current*; entries with
+        any other (or unparseable) ``r<N>|`` prefix count as stale.
+        Unparseable keys are tallied under revision ``-1``.
+        """
+        self._load()
+        by_rev: Dict[int, int] = {}
+        for key in self._memory:
+            rev = _key_model_rev(key)
+            by_rev[rev if rev is not None else -1] = (
+                by_rev.get(rev if rev is not None else -1, 0) + 1
+            )
+        stale = sum(count for rev, count in by_rev.items() if rev != model_rev)
+        bytes_on_disk = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("results*.jsonl"):
+                try:
+                    bytes_on_disk += path.stat().st_size
+                except OSError:  # pragma: no cover - shard deleted mid-scan
+                    continue
+        return CacheStoreStats(
+            entries=len(self._memory),
+            bytes_on_disk=bytes_on_disk,
+            stale_entries=stale,
+            entries_by_rev=by_rev,
+        )
+
+    def prune(self, model_rev: int = MODEL_REV) -> int:
+        """Drop every entry not produced by ``model_rev``; compact shards.
+
+        Long-lived caches accumulate dead entries across MODEL_REV bumps
+        (old keys never match again, but their lines still cost disk and
+        load time).  Rewrites the surviving entries into this cache's own
+        file atomically (write-temp-then-rename) and removes every other
+        ``results*.jsonl`` shard.  Not safe to run concurrently with
+        writers — this is a maintenance operation, not a hot-path one.
+        Returns the number of entries dropped.
+        """
+        self._load()
+        keep = {
+            key: result
+            for key, result in self._memory.items()
+            if _key_model_rev(key) == model_rev
+        }
+        dropped = len(self._memory) - len(keep)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        temp = self.path.with_suffix(".tmp")
+        with open(temp, "w") as handle:
+            for key, result in keep.items():
+                handle.write(json.dumps({"key": key, "result": result.to_dict()}) + "\n")
+        os.replace(temp, self.path)
+        for path in list(self.directory.glob("results*.jsonl")):
+            if path != self.path:
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - already gone
+                    pass
+        self._memory = keep
+        return dropped
 
 
 #: Sentinel meaning "use the process-wide default cache, resolved at call

@@ -1,0 +1,303 @@
+"""Built-in sweeps: the paper's design-space questions as one-liners.
+
+Three full sweeps (``link_l15``, ``page_place``, ``gpm_count``) cover the
+link-bandwidth/L1.5, page-size/placement, and GPM-count dimensions the
+paper explores in Figures 4/6/7, 11/12, and Section 3 respectively, plus
+a tiny ``smoke`` sweep sized for CI.  Each returns a :class:`SweepPlan`
+bundling the spec, the baseline to score against, the halving rungs, and
+(where the question is a threshold) a crossover search;
+:func:`run_sweep` executes a plan end to end and returns the
+:class:`~repro.explore.report.SweepReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import SystemConfig
+from ..core.presets import (
+    baseline_mcm_gpu,
+    mcm_gpu_with_l15,
+    multi_gpu,
+    optimized_mcm_gpu,
+)
+from ..workloads.suite import spec_by_name, suite_workloads
+from ..workloads.synthetic import SyntheticWorkload
+from ..workloads.trace import Workload
+from .pareto import DEFAULT_OBJECTIVES, pareto_front
+from .report import SweepReport
+from .search import Runner, default_runner, successive_halving
+from .sensitivity import find_crossover, oat_sensitivity
+from .spec import Axis, SweepSpec
+
+#: Workload scale factors for the halving rungs: (screening rung, final
+#: rung).  ``--fast`` quarters both — the same trick ``validate --fast``
+#: uses — so the final rung runs the 0.25x suite instead of the full one.
+RUNG_SCALES = (0.25, None)
+FAST_RUNG_SCALES = (0.0625, 0.25)
+
+#: Workloads for the CI smoke sweep: one per behaviour class.
+SMOKE_WORKLOADS = ("Stream", "BFS", "Backprop", "DWT")
+
+
+@dataclass(frozen=True)
+class CrossoverPlan:
+    """A threshold question: where does ``build(x)`` overtake ``reference``."""
+
+    build: Callable[[float], SystemConfig]
+    reference: SystemConfig
+    axis: str
+    lo: float
+    hi: float
+    tolerance: float
+
+
+@dataclass
+class SweepPlan:
+    """Everything needed to execute one built-in sweep."""
+
+    spec: SweepSpec
+    baseline: SystemConfig
+    #: ``(label, workloads)`` halving rungs, cheapest first.
+    rungs: List[Tuple[str, List[Workload]]]
+    crossover: Optional[CrossoverPlan] = None
+    #: Workloads for sensitivity and crossover probes (the cheap rung's
+    #: set, so exploratory probes never cost full-suite simulations).
+    probe_workloads: List[Workload] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.probe_workloads and self.rungs:
+            self.probe_workloads = list(self.rungs[0][1])
+
+
+def _suite_rungs(fast: bool) -> List[Tuple[str, List[Workload]]]:
+    """The standard two-rung ladder over the 48-workload suite."""
+    scales = FAST_RUNG_SCALES if fast else RUNG_SCALES
+    rungs: List[Tuple[str, List[Workload]]] = []
+    for scale in scales:
+        label = "suite(full)" if scale is None else f"suite@{scale:g}"
+        rungs.append((label, suite_workloads(fast_factor=scale)))
+    return rungs
+
+
+def _l15_sizes() -> List[int]:
+    """Scaled per-GPM L1.5 capacities standing for 8/16/32 MB full scale."""
+    return [
+        mcm_gpu_with_l15(mb, remote_only=True).gpm.l15.size_bytes for mb in (8, 16, 32)
+    ]
+
+
+def link_l15_sweep(fast: bool = False, seed: int = 0) -> SweepPlan:
+    """Link bandwidth x L1.5 capacity — the Figure 7 plane.
+
+    Base system: 16 MB remote-only L1.5 with distributed scheduling and
+    first-touch placement (the optimized stack), swept over inter-GPM
+    link bandwidth and L1.5 capacity.  Unlike the paper's iso-transistor
+    points the L2 is held fixed while the L1.5 varies — this sweep asks
+    the provisioning question ("how much SRAM and wire do I need"), not
+    the rebalancing one.  The attached crossover search answers the
+    Figure 14 question generically: the minimum link bandwidth at which
+    the optimized MCM-GPU overtakes the optimized 2-GPU board.
+    """
+    base = mcm_gpu_with_l15(
+        16,
+        remote_only=True,
+        scheduler="distributed",
+        placement="first_touch",
+        name="mcm-l15ds-ft",
+    )
+    spec = SweepSpec(
+        name="link_l15",
+        base=base,
+        axes=(
+            Axis("link_bandwidth", (192.0, 384.0, 768.0, 1536.0), label="link"),
+            Axis("gpm.l15.size_bytes", tuple(_l15_sizes()), label="l15"),
+        ),
+        seed=seed,
+    )
+    crossover = CrossoverPlan(
+        build=lambda bw: optimized_mcm_gpu(link_bandwidth=bw),
+        reference=multi_gpu(optimized=True),
+        axis="link_bandwidth",
+        lo=16.0,
+        hi=768.0,
+        tolerance=16.0,
+    )
+    return SweepPlan(
+        spec=spec,
+        baseline=baseline_mcm_gpu(),
+        rungs=_suite_rungs(fast),
+        crossover=crossover,
+    )
+
+
+def page_place_sweep(fast: bool = False, seed: int = 0) -> SweepPlan:
+    """Page size x placement policy — the Figure 11/12 plane.
+
+    Sweeps the optimized stack's page granularity against all static
+    placement policies (plus the migrating variant's static cousin),
+    scored against the interleaved baseline.
+    """
+    base = mcm_gpu_with_l15(
+        16,
+        remote_only=True,
+        scheduler="distributed",
+        placement="first_touch",
+        name="mcm-l15ds",
+    )
+    spec = SweepSpec(
+        name="page_place",
+        base=base,
+        axes=(
+            Axis("page_bytes", (512, 2048, 8192), label="page"),
+            Axis(
+                "placement",
+                ("interleave", "first_touch", "round_robin_page"),
+                label="place",
+            ),
+        ),
+        seed=seed,
+    )
+    return SweepPlan(
+        spec=spec,
+        baseline=baseline_mcm_gpu(),
+        rungs=_suite_rungs(fast),
+    )
+
+
+def gpm_count_sweep(fast: bool = False, seed: int = 0) -> SweepPlan:
+    """GPM count x link bandwidth — the Section 3 partitioning question.
+
+    Holds per-GPM resources fixed (64 SMs, 4 MB full-scale L2, 768 GB/s
+    DRAM each) and scales the module count, so total capability grows
+    with the count while the ring gets longer — the cost side of the
+    paper's "many cheap dies" argument.
+    """
+    base = baseline_mcm_gpu(name="mcm-gpms")
+    spec = SweepSpec(
+        name="gpm_count",
+        base=base,
+        axes=(
+            Axis("n_gpms", (1, 2, 4, 8), label="gpms"),
+            Axis("link_bandwidth", (384.0, 768.0), label="link"),
+        ),
+        seed=seed,
+    )
+    return SweepPlan(
+        spec=spec,
+        baseline=baseline_mcm_gpu(),
+        rungs=_suite_rungs(fast),
+    )
+
+
+def smoke_sweep(fast: bool = True, seed: int = 0) -> SweepPlan:
+    """Tiny 2x2 sweep for CI: four shrunken workloads, two small rungs.
+
+    Exercises the whole machinery — enumeration, halving, Pareto,
+    sensitivity, crossover — in well under a minute; not a meaningful
+    design-space result.
+    """
+    base = mcm_gpu_with_l15(16, remote_only=True, name="mcm-smoke")
+    spec = SweepSpec(
+        name="smoke",
+        base=base,
+        axes=(
+            Axis("link_bandwidth", (384.0, 768.0), label="link"),
+            Axis("gpm.l15.size_bytes", tuple(_l15_sizes()[:2]), label="l15"),
+        ),
+        seed=seed,
+    )
+    specs = [spec_by_name(name) for name in SMOKE_WORKLOADS]
+    rungs = [
+        ("smoke@0.0625", [SyntheticWorkload(s.scaled_down(0.0625)) for s in specs]),
+        ("smoke@0.25", [SyntheticWorkload(s.scaled_down(0.25)) for s in specs]),
+    ]
+    crossover = CrossoverPlan(
+        build=lambda bw: optimized_mcm_gpu(link_bandwidth=bw),
+        reference=multi_gpu(optimized=True),
+        axis="link_bandwidth",
+        lo=16.0,
+        hi=768.0,
+        tolerance=64.0,
+    )
+    return SweepPlan(
+        spec=spec,
+        baseline=baseline_mcm_gpu(),
+        rungs=rungs,
+        crossover=crossover,
+    )
+
+
+#: Registry of built-in sweeps: key -> (description, plan factory).
+BUILTIN_SWEEPS: Dict[str, Tuple[str, Callable[..., SweepPlan]]] = {
+    "link_l15": ("link bandwidth x L1.5 capacity (+ Fig 14 crossover)", link_l15_sweep),
+    "page_place": ("page size x placement policy", page_place_sweep),
+    "gpm_count": ("GPM count x link bandwidth", gpm_count_sweep),
+    "smoke": ("tiny 2x2 CI smoke sweep", smoke_sweep),
+}
+
+
+def build_plan(key: str, fast: bool = False, seed: int = 0) -> SweepPlan:
+    """Instantiate a built-in sweep plan by registry key."""
+    try:
+        _, factory = BUILTIN_SWEEPS[key]
+    except KeyError:
+        known = ", ".join(sorted(BUILTIN_SWEEPS))
+        raise ValueError(f"unknown sweep {key!r}; expected one of: {known}")
+    return factory(fast=fast, seed=seed)
+
+
+def run_sweep(
+    plan: SweepPlan,
+    keep_fraction: float = 0.5,
+    runner: Optional[Runner] = None,
+) -> SweepReport:
+    """Execute one sweep plan end to end.
+
+    Successive halving ranks the candidates, the Pareto frontier is
+    extracted from the final survivors' objective vectors, one-at-a-time
+    sensitivity runs around the base configuration, and the crossover
+    search (when the plan has one) bisects its axis — all through the
+    same runner, so everything shares the process pool and result cache.
+    """
+    if runner is None:
+        runner = default_runner()
+    halving = successive_halving(
+        plan.spec.candidates(),
+        plan.baseline,
+        plan.rungs,
+        keep_fraction=keep_fraction,
+        runner=runner,
+    )
+    last_rung = len(plan.rungs) - 1
+    finalists = [item for item in halving.ranking if item.rung == last_rung]
+    frontier = pareto_front(finalists, DEFAULT_OBJECTIVES)
+    sensitivity = oat_sensitivity(
+        plan.spec.base,
+        plan.spec.axes,
+        plan.baseline,
+        plan.probe_workloads,
+        runner=runner,
+    )
+    crossover = None
+    if plan.crossover is not None:
+        crossover = find_crossover(
+            plan.crossover.build,
+            plan.crossover.reference,
+            plan.probe_workloads,
+            plan.crossover.lo,
+            plan.crossover.hi,
+            axis=plan.crossover.axis,
+            tolerance=plan.crossover.tolerance,
+            runner=runner,
+        )
+    return SweepReport(
+        spec=plan.spec,
+        baseline=plan.baseline,
+        halving=halving,
+        frontier=frontier,
+        objectives=DEFAULT_OBJECTIVES,
+        sensitivity=sensitivity,
+        crossover=crossover,
+    )

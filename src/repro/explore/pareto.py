@@ -1,0 +1,94 @@
+"""Pareto-frontier extraction over candidate objective vectors.
+
+The paper's design argument is inherently multi-objective: performance
+(geomean speedup) trades against provisioned link bandwidth (Figs 4/7/14)
+and data-movement energy (Table 2, Section 6.2).  A sweep's interesting
+output is therefore not one winner but the non-dominated set — every
+configuration for which no other candidate is at least as good on all
+objectives and strictly better on one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from .search import ScoredCandidate
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One Pareto dimension: an objective-vector key plus its direction."""
+
+    key: str
+    maximize: bool = False
+
+    def better(self, a: float, b: float) -> bool:
+        """True when ``a`` is strictly better than ``b`` on this objective."""
+        return a > b if self.maximize else a < b
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON form for sweep artifacts."""
+        return {"key": self.key, "maximize": self.maximize}
+
+
+#: Default objectives for system sweeps: performance up, cost down.
+DEFAULT_OBJECTIVES: Tuple[Objective, ...] = (
+    Objective("geomean_speedup", maximize=True),
+    Objective("link_bandwidth", maximize=False),
+    Objective("energy_joules", maximize=False),
+)
+
+
+def dominates(
+    a: Mapping[str, float],
+    b: Mapping[str, float],
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+) -> bool:
+    """True when point ``a`` dominates point ``b``.
+
+    Domination: at least as good on every objective and strictly better
+    on at least one.  Missing keys raise ``KeyError`` — a silently absent
+    objective would make the frontier meaningless.
+    """
+    at_least_as_good = all(
+        not objective.better(b[objective.key], a[objective.key])
+        for objective in objectives
+    )
+    strictly_better = any(
+        objective.better(a[objective.key], b[objective.key])
+        for objective in objectives
+    )
+    return at_least_as_good and strictly_better
+
+
+def pareto_indices(
+    points: Sequence[Mapping[str, float]],
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+) -> List[int]:
+    """Indices of the non-dominated points, in input order.
+
+    Duplicate objective vectors are all kept (none strictly dominates the
+    other), so a frontier never silently drops a tied design point.
+    """
+    if not objectives:
+        raise ValueError("pareto extraction needs at least one objective")
+    kept: List[int] = []
+    for i, point in enumerate(points):
+        if not any(
+            dominates(other, point, objectives)
+            for j, other in enumerate(points)
+            if j != i
+        ):
+            kept.append(i)
+    return kept
+
+
+def pareto_front(
+    scored: Sequence[ScoredCandidate],
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+) -> List[ScoredCandidate]:
+    """Non-dominated subset of ``scored``, best score first."""
+    indices = pareto_indices([item.objectives for item in scored], objectives)
+    front = [scored[i] for i in indices]
+    return sorted(front, key=lambda item: (-item.score, item.candidate.name))

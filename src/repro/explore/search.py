@@ -1,0 +1,285 @@
+"""Candidate evaluation and successive halving over the suite runner.
+
+Evaluation rides on :func:`repro.experiments.common.run_suites`, so every
+(workload, candidate) pair of a rung fans out over the process pool in one
+batch and lands in the shared :class:`~repro.experiments.common.ResultCache`
+— re-running a sweep (or bisecting near an already-explored point) costs
+only the genuinely new simulations.
+
+The search strategy is **successive halving**: rung 0 scores every
+candidate on a cheap workload set (the 0.25x-scaled suite, the same trick
+``validate --fast`` uses), each following rung promotes the top
+``keep_fraction`` of survivors to a more expensive set, and the final rung
+runs the full 48-workload suite.  Per-rung cost accounting (pairs
+evaluated, pairs simulated vs cache-served, wall and sim seconds) is
+captured from :data:`~repro.parallel.metrics.GLOBAL_METRICS` deltas.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.speedup import geomean, speedups, suite_energy_joules
+from ..core.config import SystemConfig
+from ..experiments.common import run_suites
+from ..parallel.metrics import GLOBAL_METRICS
+from ..sim.result import SimResult
+from ..workloads.trace import Workload
+from .spec import Candidate
+
+#: A rung runner: maps (configs, workloads) to one result dict per config.
+Runner = Callable[[Sequence[SystemConfig], Sequence[Workload]], List[Dict[str, SimResult]]]
+
+
+@dataclass(frozen=True)
+class ScoredCandidate:
+    """A candidate with its score and objective vector at some rung."""
+
+    candidate: Candidate
+    #: Geometric-mean speedup over the sweep baseline on the rung's workloads.
+    score: float
+    #: Objective vector for Pareto analysis (see :func:`objectives_of`).
+    objectives: Dict[str, float]
+    #: Highest rung index this candidate was evaluated on.
+    rung: int
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON form for sweep artifacts."""
+        return {
+            "candidate": self.candidate.to_dict(),
+            "score": self.score,
+            "objectives": dict(self.objectives),
+            "rung": self.rung,
+        }
+
+
+@dataclass(frozen=True)
+class RungStats:
+    """Cost accounting for one halving rung.
+
+    ``candidates``/``promoted``/``pairs`` are deterministic given the
+    sweep; ``simulated``/``cached``/``wall_seconds``/``sim_seconds``
+    describe *this* run (a warm-cache re-run simulates nothing) and are
+    therefore kept out of the deterministic report artifact.
+    """
+
+    rung: int
+    label: str
+    candidates: int
+    promoted: int
+    pairs: int
+    simulated: int
+    cached: int
+    wall_seconds: float
+    sim_seconds: float
+
+    def deterministic_dict(self) -> Dict[str, object]:
+        """The run-independent fields (safe for bit-identical artifacts)."""
+        return {
+            "rung": self.rung,
+            "label": self.label,
+            "candidates": self.candidates,
+            "promoted": self.promoted,
+            "pairs": self.pairs,
+        }
+
+    def runtime_dict(self) -> Dict[str, object]:
+        """The run-specific fields (cache- and machine-dependent)."""
+        return {
+            "rung": self.rung,
+            "simulated": self.simulated,
+            "cached": self.cached,
+            "wall_seconds": self.wall_seconds,
+            "sim_seconds": self.sim_seconds,
+        }
+
+
+@dataclass
+class HalvingResult:
+    """Outcome of one successive-halving search."""
+
+    #: Every candidate with its final score, ranked best-first (survivors
+    #: of the last rung lead, candidates eliminated earlier follow in the
+    #: order they were cut).
+    ranking: List[ScoredCandidate]
+    #: Names of the candidates that reached (and were scored on) the last rung.
+    survivors: List[str]
+    rungs: List[RungStats] = field(default_factory=list)
+
+    @property
+    def best(self) -> ScoredCandidate:
+        """The top-ranked candidate."""
+        return self.ranking[0]
+
+
+def objectives_of(
+    config: SystemConfig, results: Dict[str, SimResult], score: float
+) -> Dict[str, float]:
+    """Objective vector for Pareto analysis.
+
+    ``geomean_speedup`` is maximized; ``link_bandwidth`` (provisioned
+    bytes/cycle — the hardware cost knob of Figs 7/10/14) and
+    ``energy_joules`` (total data-movement energy over the evaluated
+    workloads, via :mod:`repro.core.energy`) are minimized.
+    """
+    return {
+        "geomean_speedup": score,
+        "link_bandwidth": config.link_bandwidth,
+        "energy_joules": suite_energy_joules(results),
+    }
+
+
+def promotion_count(n_candidates: int, keep_fraction: float) -> int:
+    """Survivor count for one rung: ``ceil(n * keep_fraction)``, at least 1."""
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError(f"keep_fraction must be in (0, 1], got {keep_fraction}")
+    if n_candidates <= 0:
+        return 0
+    return max(1, math.ceil(n_candidates * keep_fraction))
+
+
+def select_survivors(
+    scored: Sequence[ScoredCandidate], keep_fraction: float
+) -> List[ScoredCandidate]:
+    """Top ``keep_fraction`` of ``scored`` (ties broken by candidate name).
+
+    Sorting is deterministic — equal scores fall back to the candidate
+    name — so halving promotes the same set on every run.
+    """
+    ranked = sorted(scored, key=lambda item: (-item.score, item.candidate.name))
+    return ranked[: promotion_count(len(ranked), keep_fraction)]
+
+
+def _metrics_snapshot() -> Tuple[int, int, float, float]:
+    """(pairs, cached, wall, sim-seconds) snapshot of the global metrics."""
+    return (
+        GLOBAL_METRICS.total_pairs,
+        GLOBAL_METRICS.cached_pairs,
+        GLOBAL_METRICS.wall_seconds,
+        sum(GLOBAL_METRICS.sim_seconds_by_config.values()),
+    )
+
+
+def evaluate_rung(
+    candidates: Sequence[Candidate],
+    baseline: SystemConfig,
+    workloads: Sequence[Workload],
+    rung: int,
+    runner: Runner,
+) -> List[ScoredCandidate]:
+    """Score every candidate against ``baseline`` on one workload set.
+
+    The baseline and all candidates go through the runner as **one**
+    batch, so the process pool overlaps every (workload, config) pair.
+    """
+    configs = [baseline] + [candidate.config for candidate in candidates]
+    per_config = runner(configs, list(workloads))
+    baseline_results = per_config[0]
+    scored: List[ScoredCandidate] = []
+    for candidate, results in zip(candidates, per_config[1:]):
+        score = geomean(speedups(results, baseline_results).values())
+        scored.append(
+            ScoredCandidate(
+                candidate=candidate,
+                score=score,
+                objectives=objectives_of(candidate.config, results, score),
+                rung=rung,
+            )
+        )
+    return scored
+
+
+def default_runner(cache=None, max_workers: Optional[int] = None) -> Runner:
+    """The production runner: batched, cached, process-pooled suite runs.
+
+    ``cache=None`` keeps :func:`run_suites`' default-cache semantics; pass
+    an explicit :class:`~repro.experiments.common.ResultCache` to pin the
+    cache directory (as tests and the CI smoke job do).
+    """
+
+    def run(
+        configs: Sequence[SystemConfig], workloads: Sequence[Workload]
+    ) -> List[Dict[str, SimResult]]:
+        if cache is None:
+            return run_suites(configs, workloads=workloads, max_workers=max_workers)
+        return run_suites(
+            configs, workloads=workloads, cache=cache, max_workers=max_workers
+        )
+
+    return run
+
+
+def successive_halving(
+    candidates: Sequence[Candidate],
+    baseline: SystemConfig,
+    rungs: Sequence[Tuple[str, Sequence[Workload]]],
+    keep_fraction: float = 0.5,
+    runner: Optional[Runner] = None,
+) -> HalvingResult:
+    """Run the successive-halving search.
+
+    ``rungs`` is an ordered list of ``(label, workloads)`` tiers, cheapest
+    first; every candidate is scored on rung 0, and only the top
+    ``keep_fraction`` (per rung, at least one) advances to each following
+    rung.  A candidate's final score is the one from the last rung it
+    reached.  Rung boundaries are barriers by design: promotion needs all
+    of a rung's scores before any next-rung work starts.
+    """
+    if not rungs:
+        raise ValueError("successive halving needs at least one rung")
+    if runner is None:
+        runner = default_runner()
+
+    alive = list(candidates)
+    final_score: Dict[str, ScoredCandidate] = {}
+    eliminated_by_rung: List[List[ScoredCandidate]] = []
+    stats: List[RungStats] = []
+    last = len(rungs) - 1
+    for rung, (label, workloads) in enumerate(rungs):
+        before = _metrics_snapshot()
+        wall_start = time.time()
+        scored = evaluate_rung(alive, baseline, workloads, rung, runner)
+        wall = time.time() - wall_start
+        after = _metrics_snapshot()
+        for item in scored:
+            final_score[item.candidate.name] = item
+        survivors = (
+            select_survivors(scored, keep_fraction) if rung != last else
+            sorted(scored, key=lambda item: (-item.score, item.candidate.name))
+        )
+        survivor_names = {item.candidate.name for item in survivors}
+        cut = [item for item in scored if item.candidate.name not in survivor_names]
+        eliminated_by_rung.append(
+            sorted(cut, key=lambda item: (-item.score, item.candidate.name))
+        )
+        pairs_delta = after[0] - before[0]
+        cached_delta = after[1] - before[1]
+        stats.append(
+            RungStats(
+                rung=rung,
+                label=label,
+                candidates=len(alive),
+                promoted=len(survivors) if rung != last else len(scored),
+                pairs=(len(alive) + 1) * len(workloads),
+                simulated=max(0, pairs_delta - cached_delta),
+                cached=cached_delta,
+                wall_seconds=wall,
+                sim_seconds=after[3] - before[3],
+            )
+        )
+        alive = [item.candidate for item in survivors]
+
+    survivors_ranked = [final_score[candidate.name] for candidate in alive]
+    # Survivors lead; candidates cut on later (more trusted) rungs outrank
+    # those cut earlier, best-first within each rung.
+    ranking = survivors_ranked + [
+        item for cuts in reversed(eliminated_by_rung) for item in cuts
+    ]
+    return HalvingResult(
+        ranking=ranking,
+        survivors=[item.candidate.name for item in survivors_ranked],
+        rungs=stats,
+    )

@@ -1,0 +1,227 @@
+"""One-at-a-time sensitivity analysis and the crossover finder.
+
+Sensitivity answers "which knob matters": each axis is swept alone while
+every other field stays at the base configuration, and the *swing* (best
+minus worst score) ranks the axes.
+
+The crossover finder answers the paper's threshold questions generically —
+"at what link bandwidth does the MCM-GPU overtake the 2-GPU board?" is the
+Figure 14 instance.  It bisects a numeric axis for the point where system
+A's advantage over a fixed reference system B changes sign, assuming the
+advantage is monotone along the axis (true for every bandwidth-, capacity-
+and latency-like axis in this model; the metamorphic properties in
+``repro.validate`` pin the monotonicities down).  Probes run through the
+shared result cache, so repeated searches — and the re-run of a sweep
+report — are nearly free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.speedup import geomean, speedups
+from ..core.config import SystemConfig
+from ..workloads.trace import Workload
+from .search import Runner, default_runner
+from .spec import Axis, config_replace
+
+
+@dataclass(frozen=True)
+class AxisSensitivity:
+    """Scores along one axis with everything else held at the base config."""
+
+    path: str
+    label: str
+    #: ``(axis value, geomean speedup over the baseline)`` per point,
+    #: in axis-value order.
+    points: Tuple[Tuple[object, float], ...]
+
+    @property
+    def swing(self) -> float:
+        """Best minus worst score along the axis — the axis's leverage."""
+        scores = [score for _, score in self.points]
+        return max(scores) - min(scores)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON form for sweep artifacts."""
+        return {
+            "path": self.path,
+            "label": self.label,
+            "points": [[value, score] for value, score in self.points],
+            "swing": self.swing,
+        }
+
+
+def oat_sensitivity(
+    base: SystemConfig,
+    axes: Sequence[Axis],
+    baseline: SystemConfig,
+    workloads: Sequence[Workload],
+    runner: Optional[Runner] = None,
+) -> List[AxisSensitivity]:
+    """One-at-a-time sweep of every axis around ``base``.
+
+    All (axis, value) variants plus the baseline run as **one** batch so
+    the process pool overlaps everything; scores are geomean speedups
+    over ``baseline``.  Returned reports are ordered by descending swing.
+    """
+    if runner is None:
+        runner = default_runner()
+    variants: List[SystemConfig] = []
+    keys: List[Tuple[str, object]] = []
+    for axis in axes:
+        for value in axis.values:
+            config = config_replace(base, axis.path, value)
+            config = replace(
+                config, name=f"{base.name}~{axis.label}={value}"
+            )
+            variants.append(config)
+            keys.append((axis.path, value))
+    per_config = runner([baseline] + variants, list(workloads))
+    baseline_results = per_config[0]
+    score_by_key: Dict[Tuple[str, object], float] = {}
+    for key, results in zip(keys, per_config[1:]):
+        score_by_key[key] = geomean(speedups(results, baseline_results).values())
+    reports = [
+        AxisSensitivity(
+            path=axis.path,
+            label=axis.label,
+            points=tuple((value, score_by_key[(axis.path, value)]) for value in axis.values),
+        )
+        for axis in axes
+    ]
+    return sorted(reports, key=lambda report: (-report.swing, report.path))
+
+
+# ----------------------------------------------------------------------
+# Crossover finder
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CrossoverResult:
+    """Outcome of bisecting an axis for a sign change of an advantage.
+
+    ``estimate`` is the smallest axis value at which the advantage is
+    non-negative (to within ``tolerance``); ``bracketed`` records whether
+    a genuine sign change was found inside ``(lo, hi)``.  When system A
+    already wins at ``lo`` the estimate is ``lo`` (the true threshold
+    lies at or below the probed range); when A still loses at ``hi`` the
+    estimate is None.
+    """
+
+    axis: str
+    lo: float
+    hi: float
+    estimate: Optional[float]
+    bracketed: bool
+    tolerance: float
+    #: Every ``(value, advantage)`` probe, in evaluation order.
+    samples: Tuple[Tuple[float, float], ...]
+
+    @property
+    def evaluations(self) -> int:
+        """Number of advantage evaluations spent."""
+        return len(self.samples)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON form for sweep artifacts."""
+        return {
+            "axis": self.axis,
+            "lo": self.lo,
+            "hi": self.hi,
+            "estimate": self.estimate,
+            "bracketed": self.bracketed,
+            "tolerance": self.tolerance,
+            "evaluations": self.evaluations,
+            "samples": [[value, advantage] for value, advantage in self.samples],
+        }
+
+
+def bisect_crossover(
+    advantage: Callable[[float], float],
+    lo: float,
+    hi: float,
+    tolerance: float = 1.0,
+    max_iterations: int = 32,
+    axis: str = "value",
+) -> CrossoverResult:
+    """Bisect ``advantage`` (assumed monotone increasing) for its zero.
+
+    ``advantage(x)`` is system A's edge over the reference at axis value
+    ``x`` (positive means A wins).  Classic bisection: keep an interval
+    with ``advantage < 0`` at the low end and ``>= 0`` at the high end,
+    halve until it is narrower than ``tolerance``.  Degenerate inputs are
+    reported rather than raised — an un-bracketed search is a finding
+    ("A wins everywhere probed"), not an error.
+    """
+    if not lo < hi:
+        raise ValueError(f"need lo < hi, got [{lo}, {hi}]")
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance}")
+    samples: List[Tuple[float, float]] = []
+
+    def probe(x: float) -> float:
+        value = advantage(x)
+        samples.append((x, value))
+        return value
+
+    f_lo = probe(lo)
+    if f_lo >= 0:
+        return CrossoverResult(
+            axis=axis, lo=lo, hi=hi, estimate=lo, bracketed=False,
+            tolerance=tolerance, samples=tuple(samples),
+        )
+    f_hi = probe(hi)
+    if f_hi < 0:
+        return CrossoverResult(
+            axis=axis, lo=lo, hi=hi, estimate=None, bracketed=False,
+            tolerance=tolerance, samples=tuple(samples),
+        )
+    low, high = lo, hi
+    for _ in range(max_iterations):
+        if high - low <= tolerance:
+            break
+        mid = (low + high) / 2.0
+        if probe(mid) >= 0:
+            high = mid
+        else:
+            low = mid
+    return CrossoverResult(
+        axis=axis, lo=lo, hi=hi, estimate=high, bracketed=True,
+        tolerance=tolerance, samples=tuple(samples),
+    )
+
+
+def find_crossover(
+    build: Callable[[float], SystemConfig],
+    reference: SystemConfig,
+    workloads: Sequence[Workload],
+    lo: float,
+    hi: float,
+    axis: str = "link_bandwidth",
+    tolerance: float = 16.0,
+    runner: Optional[Runner] = None,
+) -> CrossoverResult:
+    """Minimum axis value at which ``build(x)`` overtakes ``reference``.
+
+    The advantage function is ``geomean speedup of build(x) over the
+    reference minus 1``.  The reference suite runs once; each bisection
+    probe simulates one configuration (cache-served when the value was
+    probed before — bisection midpoints are deterministic, so re-running
+    the search is almost entirely cache hits).
+    """
+    if runner is None:
+        runner = default_runner()
+    reference_results = runner([reference], list(workloads))[0]
+
+    def advantage(x: float) -> float:
+        config = build(x)
+        config = replace(config, name=f"{config.name}@{axis}={x:g}")
+        results = runner([config], list(workloads))[0]
+        return geomean(speedups(results, reference_results).values()) - 1.0
+
+    return bisect_crossover(
+        advantage, lo, hi, tolerance=tolerance, axis=axis
+    )

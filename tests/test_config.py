@@ -1,5 +1,8 @@
 """Unit tests for configuration dataclasses and presets."""
 
+import json
+from dataclasses import replace
+
 import pytest
 
 from repro.core.config import (
@@ -193,3 +196,82 @@ class TestDigest:
 
     def test_digest_stable(self):
         assert baseline_mcm_gpu().digest() == baseline_mcm_gpu().digest()
+
+    def test_digest_covers_every_behavioral_knob(self):
+        """Knobs that change simulation results must change the digest.
+
+        These five were historically missing from the digest string and
+        could silently serve stale cache entries."""
+        base = baseline_mcm_gpu()
+        variants = [
+            replace(base, line_bytes=64),
+            replace(base, gpm=replace(base.gpm, xbar_latency=base.gpm.xbar_latency + 10)),
+            replace(
+                base,
+                gpm=replace(base.gpm, l15_miss_penalty=base.gpm.l15_miss_penalty + 10),
+            ),
+            replace(base, gpm=replace(base.gpm, sm=replace(base.gpm.sm, warp_groups=2))),
+            replace(
+                base,
+                gpm=replace(base.gpm, sm=replace(base.gpm.sm, max_resident_ctas=8)),
+            ),
+        ]
+        digests = {base.digest()} | {variant.digest() for variant in variants}
+        assert len(digests) == len(variants) + 1
+
+    def test_digest_includes_name(self):
+        """Names stay in the digest: cached results carry ``system_name``
+        and the golden store keys fidelity snapshots by it."""
+        base = baseline_mcm_gpu()
+        assert replace(base, name="renamed").digest() != base.digest()
+
+
+class TestSerialization:
+    def test_round_trip_all_presets(self):
+        presets = [
+            baseline_mcm_gpu(),
+            mcm_gpu_with_l15(16, remote_only=True),
+            optimized_mcm_gpu(),
+            monolithic_gpu(128),
+            multi_gpu(optimized=True),
+        ]
+        for config in presets:
+            restored = SystemConfig.from_dict(config.to_dict())
+            assert restored == config
+            assert restored.digest() == config.digest()
+
+    def test_round_trip_survives_json(self):
+        config = optimized_mcm_gpu()
+        payload = json.loads(json.dumps(config.to_dict()))
+        assert SystemConfig.from_dict(payload) == config
+
+    def test_l15_none_round_trips(self):
+        config = baseline_mcm_gpu()
+        data = config.to_dict()
+        assert data["gpm"]["l15"] is None
+        assert SystemConfig.from_dict(data).gpm.l15 is None
+
+    def test_enums_serialized_as_strings(self):
+        data = mcm_gpu_with_l15(16).to_dict()
+        assert data["gpm"]["l15"]["write_policy"] == "write_through"
+        assert isinstance(data["gpm"]["l15"]["allocation"], str)
+
+    def test_unknown_keys_rejected(self):
+        data = baseline_mcm_gpu().to_dict()
+        data["no_such_field"] = 1
+        with pytest.raises(ValueError, match="unknown"):
+            SystemConfig.from_dict(data)
+
+
+class TestPolicyValidation:
+    def test_rejects_unknown_placement(self):
+        with pytest.raises(ValueError, match="placement"):
+            replace(baseline_mcm_gpu(), placement="best_effort")
+
+    def test_rejects_unknown_link_tier(self):
+        with pytest.raises(ValueError, match="link_tier"):
+            replace(baseline_mcm_gpu(), link_tier="wafer")
+
+    def test_all_valid_placements_accepted(self):
+        for policy in ("interleave", "first_touch", "round_robin_page", "migrating_first_touch"):
+            assert replace(baseline_mcm_gpu(), placement=policy).placement == policy

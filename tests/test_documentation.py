@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.core",
     "repro.experiments",
+    "repro.explore",
     "repro.interconnect",
     "repro.memory",
     "repro.multigpu",

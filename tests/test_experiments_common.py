@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.core.config import MODEL_REV
 from repro.core.presets import baseline_mcm_gpu
 from repro.experiments import common
 from repro.experiments.common import (
@@ -107,6 +108,84 @@ class TestResultCache:
         cache.put(result)
         fresh = ResultCache(tmp_path)
         assert len(fresh) == 1
+
+
+def _plant_stale_entry(cache, result, rev):
+    """Append a cache line whose system digest claims model revision ``rev``."""
+    line = json.dumps(
+        {"key": f"{result.workload_digest}##r{rev}|stale-digest", "result": result.to_dict()}
+    )
+    with open(cache.path, "a") as handle:
+        handle.write(line + "\n")
+
+
+class TestCacheStatsAndPrune:
+    def test_stats_empty_cache(self, tmp_path):
+        stats = ResultCache(tmp_path).stats()
+        assert stats.entries == 0
+        assert stats.bytes_on_disk == 0
+        assert stats.stale_entries == 0
+        assert stats.entries_by_rev == {}
+
+    def test_stats_counts_current_and_stale(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = run_one(tiny_workload(), tiny_config(), cache)
+        _plant_stale_entry(cache, result, rev=1)
+        _plant_stale_entry(cache, result, rev=2)
+        stats = ResultCache(tmp_path).stats()
+        assert stats.entries == 3
+        assert stats.stale_entries == 2
+        assert stats.bytes_on_disk == cache.path.stat().st_size
+        assert stats.entries_by_rev[MODEL_REV] == 1
+        assert stats.entries_by_rev[1] == 1
+        assert stats.entries_by_rev[2] == 1
+
+    def test_stats_unparseable_key_counts_as_stale(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = run_one(tiny_workload(), tiny_config(), cache)
+        line = json.dumps({"key": "weird##no-rev-prefix", "result": result.to_dict()})
+        with open(cache.path, "a") as handle:
+            handle.write(line + "\n")
+        stats = ResultCache(tmp_path).stats()
+        assert stats.stale_entries == 1
+        assert stats.entries_by_rev[-1] == 1
+
+    def test_stats_sums_every_shard(self, tmp_path):
+        result = run_one(tiny_workload("shard-a"), tiny_config(), cache=None)
+        ResultCache(tmp_path, shard="w0").put(result)
+        other = run_one(tiny_workload("shard-b"), tiny_config(), cache=None)
+        ResultCache(tmp_path).put(other)
+        stats = ResultCache(tmp_path).stats()
+        assert stats.entries == 2
+        expected = sum(path.stat().st_size for path in tmp_path.glob("results*.jsonl"))
+        assert stats.bytes_on_disk == expected
+
+    def test_prune_drops_stale_and_compacts_shards(self, tmp_path):
+        shard = ResultCache(tmp_path, shard="w9")
+        shard_result = run_one(tiny_workload("prune-shard"), tiny_config(), cache=None)
+        shard.put(shard_result)
+        cache = ResultCache(tmp_path)
+        result = run_one(tiny_workload("prune-main"), tiny_config(), cache)
+        _plant_stale_entry(cache, result, rev=1)
+
+        worker = ResultCache(tmp_path)
+        assert len(worker) == 3
+        dropped = worker.prune()
+        assert dropped == 1
+        # Stale entry gone, current entries (from every shard) survive.
+        assert len(worker) == 2
+        assert worker.stats().stale_entries == 0
+        # Shards were folded into the main file.
+        assert [path.name for path in tmp_path.glob("results*.jsonl")] == ["results.jsonl"]
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(result.workload_digest, result.system_digest) is not None
+        assert fresh.get(shard_result.workload_digest, shard_result.system_digest) is not None
+
+    def test_prune_noop_when_all_current(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_one(tiny_workload(), tiny_config(), cache)
+        assert cache.prune() == 0
+        assert len(ResultCache(tmp_path)) == 1
 
 
 class TestDefaultCacheResolution:
