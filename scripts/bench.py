@@ -1,71 +1,163 @@
 #!/usr/bin/env python
 """Micro-benchmark: simulation throughput on the validation micro suite.
 
-Runs the micro suite serially on the baseline machine with the cache
-bypassed (every run simulates) and emits a small JSON report::
+Runs the micro suite serially with the result cache bypassed (every run
+simulates) and emits a numbered JSON report at the repository root::
 
-    python scripts/bench.py --out BENCH_3.json
+    python scripts/bench.py                    # writes BENCH_5.json
+    python scripts/bench.py --fast             # CI smoke: one repeat
+    python scripts/bench.py --compare OLD.json # embed baseline + speedup
 
 The figure of merit is ``runs_per_sec`` — end-to-end simulated runs per
 wall-clock second on one core, the quantity every suite sweep scales
-with.  CI archives the JSON so throughput regressions show up next to
-correctness failures.
+with; ``records_per_sec`` (trace records retired per second) tracks the
+engine hot loop independently of workload sizing.  Per-config suite
+timings localize a regression to a machine shape.  CI archives the JSON
+so throughput regressions show up next to correctness failures.
 """
 
 import argparse
 import json
+import os
+import platform
 import sys
 import time
+from pathlib import Path
 
 from repro.core.config import MODEL_REV
 from repro.core.presets import baseline_mcm_gpu, optimized_mcm_gpu
 from repro.sim.simulator import Simulator
 from repro.validate.properties import micro_suite
 
+#: PR number stamped into the default output name (``BENCH_<pr>.json``).
+DEFAULT_PR = 5
+
+
+def repo_root() -> Path:
+    return Path(__file__).resolve().parents[1]
+
+
+def machine_info() -> dict:
+    """Environment the numbers were taken on (for apples-to-apples diffs)."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _time_suite(config, workloads, repeats: int) -> dict:
+    """Time ``repeats`` serial passes of ``workloads`` on one machine."""
+    runs = 0
+    records = 0
+    start = time.perf_counter()
+    for _ in range(repeats):
+        simulator = Simulator(config)
+        for workload in workloads:
+            result = simulator.run(workload)
+            runs += 1
+            records += result.records
+    seconds = time.perf_counter() - start
+    return {
+        "config": config.name,
+        "runs": runs,
+        "records": records,
+        "seconds": round(seconds, 4),
+        "runs_per_sec": round(runs / seconds, 2) if seconds > 0 else None,
+        "records_per_sec": round(records / seconds) if seconds > 0 else None,
+    }
+
 
 def bench(repeats: int, micro: int) -> dict:
-    """Time ``repeats`` passes of the micro suite on two machines."""
+    """Benchmark the micro suite on the two headline machines."""
     workloads = micro_suite(micro)
     configs = [baseline_mcm_gpu(), optimized_mcm_gpu()]
-    # Warm-up pass: first-run costs (pattern construction, trace caches)
-    # belong to neither the model nor the figure of merit.
+    # Warm-up pass: first-run costs (pattern construction, trace
+    # materialization) belong to neither the model nor the figure of merit.
     for config in configs:
         simulator = Simulator(config)
         for workload in workloads:
             simulator.run(workload)
 
-    runs = 0
-    start = time.perf_counter()
-    for _ in range(repeats):
-        for config in configs:
-            simulator = Simulator(config)
-            for workload in workloads:
-                simulator.run(workload)
-                runs += 1
-    seconds = time.perf_counter() - start
+    suites = [_time_suite(config, workloads, repeats) for config in configs]
+    runs = sum(suite["runs"] for suite in suites)
+    records = sum(suite["records"] for suite in suites)
+    seconds = sum(suite["seconds"] for suite in suites)
     return {
+        "bench": "micro-suite-throughput",
         "model_rev": MODEL_REV,
+        "machine": machine_info(),
         "workloads": [workload.name for workload in workloads],
         "configs": [config.name for config in configs],
+        "repeats": repeats,
+        "suites": suites,
         "runs": runs,
+        "records": records,
         "seconds": round(seconds, 4),
         "runs_per_sec": round(runs / seconds, 2) if seconds > 0 else None,
+        "records_per_sec": round(records / seconds) if seconds > 0 else None,
     }
+
+
+def attach_baseline(report: dict, baseline_path: Path) -> None:
+    """Embed another bench report as the baseline and compute the speedup."""
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    report["baseline"] = {
+        "path": str(baseline_path),
+        "model_rev": baseline.get("model_rev"),
+        "runs_per_sec": baseline.get("runs_per_sec"),
+        "records_per_sec": baseline.get("records_per_sec"),
+        "machine": baseline.get("machine"),
+    }
+    base_rate = baseline.get("runs_per_sec")
+    if base_rate and report["runs_per_sec"]:
+        report["speedup_vs_baseline"] = round(report["runs_per_sec"] / base_rate, 3)
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description="Benchmark simulation throughput.")
-    parser.add_argument("--out", default="BENCH_3.json", metavar="PATH")
+    parser.add_argument(
+        "--pr",
+        type=int,
+        default=DEFAULT_PR,
+        metavar="N",
+        help=f"PR number for the default BENCH_<N>.json name (default {DEFAULT_PR})",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output path (default BENCH_<pr>.json at the repo root)",
+    )
     parser.add_argument("--repeats", type=int, default=3, metavar="N")
     parser.add_argument(
         "--micro", type=int, default=2, metavar="N", help="micro-suite size (1-4)"
     )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="CI smoke mode: a single repeat (timings are noisier)",
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="PATH",
+        help="embed another bench JSON as the baseline and report the speedup",
+    )
     opts = parser.parse_args()
-    report = bench(opts.repeats, opts.micro)
-    with open(opts.out, "w") as handle:
+    out = Path(opts.out) if opts.out else repo_root() / f"BENCH_{opts.pr}.json"
+    repeats = 1 if opts.fast else opts.repeats
+    report = bench(repeats, opts.micro)
+    if opts.compare:
+        attach_baseline(report, Path(opts.compare))
+    with open(out, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     print(json.dumps(report, indent=2))
+    print(f"\nwrote {out}", file=sys.stderr)
     return 0
 
 

@@ -81,7 +81,7 @@ def run_golden_tier(opts) -> bool:
 
     store = GoldenStore(Path(opts.store)) if opts.store else GoldenStore()
     if opts.bless:
-        count, path = bless(store)
+        count, path = bless(store, note=opts.note)
         print(f"[golden] blessed {count} entries into {path}")
         return True
     try:
@@ -115,6 +115,12 @@ def main() -> int:
         "--bless",
         action="store_true",
         help="golden tier: freeze the current metrics as the new snapshot",
+    )
+    parser.add_argument(
+        "--note",
+        default=None,
+        metavar="TEXT",
+        help="golden tier with --bless: provenance note stored in the snapshot",
     )
     parser.add_argument(
         "--fast",

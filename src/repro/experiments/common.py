@@ -33,7 +33,7 @@ except ImportError:  # pragma: no cover - POSIX always has fcntl
     fcntl = None  # type: ignore[assignment]
 
 from ..core.config import MODEL_REV, SystemConfig
-from ..sim.result import SimResult
+from ..sim.result import RESULT_SCHEMA, SimResult
 from ..sim.simulator import Simulator
 from ..workloads.suite import suite_workloads
 from ..workloads.synthetic import Category, SyntheticWorkload
@@ -106,6 +106,10 @@ class ResultCache:
         name = "results.jsonl" if shard is None else f"results-{shard}.jsonl"
         self.path = self.directory / name
         self._memory: Dict[str, SimResult] = {}
+        #: Keys of on-disk entries written under an older RESULT_SCHEMA —
+        #: never served, but reported by :meth:`stats` and reclaimed by
+        #: :meth:`prune` like rev-stale entries.
+        self._stale_schema_keys: List[str] = []
         self._loaded = False
         self.hits = 0
         self.misses = 0
@@ -133,6 +137,17 @@ class ResultCache:
                         continue
                     try:
                         entry = json.loads(line)
+                        # Entries written under an older result schema are
+                        # never served: their stats no longer match what
+                        # fresh simulations (and the invariant layer)
+                        # produce.  Absent marker == schema 1.
+                        if (
+                            "key" in entry
+                            and "result" in entry
+                            and entry.get("schema", 1) != RESULT_SCHEMA
+                        ):
+                            self._stale_schema_keys.append(str(entry["key"]))
+                            continue
                         result = SimResult.from_dict(entry["result"])
                     except (json.JSONDecodeError, KeyError, TypeError):
                         continue  # tolerate a truncated trailing line
@@ -154,7 +169,9 @@ class ResultCache:
         key = self.key(result.workload_digest, result.system_digest)
         self._memory[key] = result
         self.directory.mkdir(parents=True, exist_ok=True)
-        line = json.dumps({"key": key, "result": result.to_dict()}) + "\n"
+        line = json.dumps(
+            {"key": key, "schema": RESULT_SCHEMA, "result": result.to_dict()}
+        ) + "\n"
         # One O_APPEND write per entry: atomic on local POSIX filesystems,
         # belt-and-braces flock for NFS and very large entries.
         fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
@@ -182,23 +199,27 @@ class ResultCache:
 
     def __len__(self) -> int:
         self._load()
-        return len(self._memory)
+        return len(self._memory) + len(self._stale_schema_keys)
 
     def stats(self, model_rev: int = MODEL_REV) -> CacheStoreStats:
         """Entry count, disk footprint, and stale-revision census.
 
         ``model_rev`` is the revision considered *current*; entries with
-        any other (or unparseable) ``r<N>|`` prefix count as stale.
-        Unparseable keys are tallied under revision ``-1``.
+        any other (or unparseable) ``r<N>|`` prefix count as stale, as do
+        entries written under an older ``RESULT_SCHEMA`` (which are never
+        served regardless of revision).  Unparseable keys are tallied
+        under revision ``-1``.
         """
         self._load()
         by_rev: Dict[int, int] = {}
-        for key in self._memory:
+        for key in list(self._memory) + self._stale_schema_keys:
             rev = _key_model_rev(key)
             by_rev[rev if rev is not None else -1] = (
                 by_rev.get(rev if rev is not None else -1, 0) + 1
             )
-        stale = sum(count for rev, count in by_rev.items() if rev != model_rev)
+        stale = sum(
+            1 for key in self._memory if _key_model_rev(key) != model_rev
+        ) + len(self._stale_schema_keys)
         bytes_on_disk = 0
         if self.directory.is_dir():
             for path in self.directory.glob("results*.jsonl"):
@@ -207,7 +228,7 @@ class ResultCache:
                 except OSError:  # pragma: no cover - shard deleted mid-scan
                     continue
         return CacheStoreStats(
-            entries=len(self._memory),
+            entries=len(self._memory) + len(self._stale_schema_keys),
             bytes_on_disk=bytes_on_disk,
             stale_entries=stale,
             entries_by_rev=by_rev,
@@ -230,12 +251,18 @@ class ResultCache:
             for key, result in self._memory.items()
             if _key_model_rev(key) == model_rev
         }
-        dropped = len(self._memory) - len(keep)
+        dropped = len(self._memory) - len(keep) + len(self._stale_schema_keys)
+        self._stale_schema_keys = []
         self.directory.mkdir(parents=True, exist_ok=True)
         temp = self.path.with_suffix(".tmp")
         with open(temp, "w") as handle:
             for key, result in keep.items():
-                handle.write(json.dumps({"key": key, "result": result.to_dict()}) + "\n")
+                handle.write(
+                    json.dumps(
+                        {"key": key, "schema": RESULT_SCHEMA, "result": result.to_dict()}
+                    )
+                    + "\n"
+                )
         os.replace(temp, self.path)
         for path in list(self.directory.glob("results*.jsonl")):
             if path != self.path:

@@ -88,9 +88,10 @@ class BandwidthPipe:
         used = self._used
         capacity = self.bucket_capacity
         bucket_cycles = self.bucket_cycles
+        full_prefix = self._full_prefix
         bucket = int(now / bucket_cycles)
-        if bucket < self._full_prefix:
-            bucket = self._full_prefix
+        if bucket < full_prefix:
+            bucket = full_prefix
 
         # Fast path: the whole transfer fits in its first candidate bucket.
         occupied = used.get(bucket, 0.0)
@@ -98,7 +99,7 @@ class BandwidthPipe:
         if new_occupancy <= capacity:
             used[bucket] = new_occupancy
             finish = (bucket + new_occupancy / capacity) * bucket_cycles
-            if new_occupancy >= capacity and bucket == self._full_prefix:
+            if new_occupancy >= capacity and bucket == full_prefix:
                 self._advance_full_prefix(bucket + 1)
         else:
             remaining = float(n_bytes)

@@ -49,13 +49,30 @@ class AllocationPolicy(Enum):
 
 @dataclass
 class CacheStats:
-    """Counters accumulated by a :class:`SetAssocCache` over a simulation."""
+    """Counters accumulated by a :class:`SetAssocCache` over a simulation.
+
+    ``hits``/``misses`` count the lookup path and include write touches:
+    a write-through store that finds its line resident refreshes it and
+    counts a hit (tracked separately in ``write_hits``), matching how the
+    counters have always been reported.  ``bypasses`` counts no-allocate
+    requests that found no resident line — for the write-through levels
+    that is exactly the store probe-misses that are forwarded downstream
+    untouched, so every store is accounted for as either a ``write_hit``
+    or a ``bypass``.  The paper's Figure 6/7 hit-rate quantities are
+    *load* hit rates; use :attr:`load_hit_rate` for those.
+    """
 
     hits: int = 0
     misses: int = 0
     writebacks: int = 0
     flushes: int = 0
     bypasses: int = 0
+    #: Lookup hits whose access was a write (store touches at the
+    #: write-through levels, write-allocate lookups at the L2).
+    write_hits: int = 0
+    #: Lookup misses whose access was a write (only the write-allocate L2
+    #: can take these; write-through store probe-misses are ``bypasses``).
+    write_misses: int = 0
 
     @property
     def accesses(self) -> int:
@@ -64,10 +81,40 @@ class CacheStats:
 
     @property
     def hit_rate(self) -> float:
-        """Hit ratio over lookups; 0.0 when the cache was never accessed."""
+        """Hit ratio over *all* lookups (loads and write touches alike).
+
+        0.0 when the cache was never accessed.  For the load-only quantity
+        the paper reports in Figures 6/7, use :attr:`load_hit_rate`.
+        """
         if not self.accesses:
             return 0.0
         return self.hits / self.accesses
+
+    @property
+    def read_hits(self) -> int:
+        """Lookup hits that served a load."""
+        return self.hits - self.write_hits
+
+    @property
+    def read_misses(self) -> int:
+        """Lookup misses taken by a load."""
+        return self.misses - self.write_misses
+
+    @property
+    def read_accesses(self) -> int:
+        """Load lookups only (no write touches)."""
+        return self.read_hits + self.read_misses
+
+    @property
+    def load_hit_rate(self) -> float:
+        """Load-only hit ratio — the Figure 6/7 quantity.
+
+        Excludes write touches entirely; 0.0 when no load was looked up.
+        """
+        reads = self.read_hits + self.read_misses
+        if not reads:
+            return 0.0
+        return self.read_hits / reads
 
     def merge(self, other: "CacheStats") -> "CacheStats":
         """Return a new ``CacheStats`` with counters from both operands."""
@@ -77,6 +124,8 @@ class CacheStats:
             writebacks=self.writebacks + other.writebacks,
             flushes=self.flushes + other.flushes,
             bypasses=self.bypasses + other.bypasses,
+            write_hits=self.write_hits + other.write_hits,
+            write_misses=self.write_misses + other.write_misses,
         )
 
 
@@ -168,6 +217,8 @@ class SetAssocCache:
         stats = self.stats
         if not self._sets:
             stats.misses += 1
+            if is_write:
+                stats.write_misses += 1
             return MISS
 
         cache_set = self._sets[line_addr % self.n_sets]
@@ -175,14 +226,21 @@ class SetAssocCache:
 
         if line_addr in cache_set:
             stats.hits += 1
+            if is_write:
+                stats.write_hits += 1
             dirty = cache_set.pop(line_addr) or track_dirty
             cache_set[line_addr] = dirty
             return HIT
 
-        stats.misses += 1
         if not allocate:
+            # No-allocate requests that find nothing are bypasses, not
+            # lookup misses: the request is forwarded downstream untouched
+            # and must not dilute the hit rate (see CacheStats docstring).
             stats.bypasses += 1
             return MISS
+        stats.misses += 1
+        if is_write:
+            stats.write_misses += 1
 
         writeback = None
         if len(cache_set) >= self.ways:
@@ -201,6 +259,29 @@ class SetAssocCache:
         if not self.enabled:
             return False
         return line_addr in self._set_for(line_addr)
+
+    def touch_store(self, line_addr: int) -> bool:
+        """Fused probe + write-touch for the no-allocate store path.
+
+        One dict lookup replaces the ``probe()`` / ``access(is_write=True,
+        allocate=False)`` pair the store path used to make per line — this
+        is the hottest cache operation in a simulation.  A resident line
+        counts a hit (tracked as a write hit), is refreshed in LRU order,
+        and is marked dirty only in write-back caches; an absent line
+        counts a ``bypass`` — the store is forwarded downstream without
+        allocating, so it is neither a hit nor a miss of the lookup path.
+        Returns residency.
+        """
+        stats = self.stats
+        if self._sets:
+            cache_set = self._sets[line_addr % self.n_sets]
+            if line_addr in cache_set:
+                stats.hits += 1
+                stats.write_hits += 1
+                cache_set[line_addr] = cache_set.pop(line_addr) or self._track_dirty
+                return True
+        stats.bypasses += 1
+        return False
 
     def flush(self) -> List[int]:
         """Invalidate the whole cache, returning dirty lines for write-back.

@@ -15,6 +15,7 @@ software-coherent caches (L1, L1.5) exactly as Section 5.1.1 requires.
 
 from __future__ import annotations
 
+import os
 from heapq import heappop, heappush
 from math import inf
 from typing import List, Optional
@@ -24,6 +25,16 @@ from ..memory.cache import CacheStats
 from ..sched.distributed import make_scheduler
 from ..workloads.trace import KernelLaunch, Workload
 from .result import SimResult
+
+
+def _perline_requested() -> bool:
+    """True when ``REPRO_SIM_PERLINE`` forces the reference per-line path.
+
+    Debug/verification knob: the batched memory path is the production
+    default; the per-line path is kept as the executable specification the
+    bit-identity suite diffs against (tests/test_perf_identity.py).
+    """
+    return os.environ.get("REPRO_SIM_PERLINE", "") not in ("", "0")
 
 
 class _CTA:
@@ -63,6 +74,10 @@ class SimulationEngine:
         # bit-identical with or without the subsystem.
         self._telemetry = None
         self._next_sample = inf
+        #: Batched memory path (load_batch/store_batch) vs the reference
+        #: per-line path.  Both produce bit-identical results; the flag
+        #: exists so the identity suite can diff them.
+        self.batched = not _perline_requested()
 
     # ------------------------------------------------------------------
 
@@ -133,53 +148,10 @@ class SimulationEngine:
                 self._launch(heap, kernel, cta_index, sm, start_time)
                 placed = True
 
-        kernel_end = start_time
-        memsys = self.system.memsys
-        while heap:
-            ready, _, group = heappop(heap)
-            # Heap pops are monotone in ready time (pushes always re-arm at
-            # finish >= the current pop), so crossing a window boundary here
-            # closes the window exactly once.  Dormant (+inf) without a probe.
-            if ready >= self._next_sample:
-                self._next_sample = telemetry.take_window(
-                    ready, self.system, self.records_executed
-                )
-            sm = group.cta.sm
-            issue_start = sm.clock if sm.clock > ready else ready
-            record = group.records[group.position]
-            group.position += 1
-            reads = record.reads
-            writes = record.writes
-            sm.charge_issue(issue_start, record.compute_cycles + len(reads) + len(writes))
-
-            mem_done = issue_start
-            for line in reads:
-                done = memsys.load(issue_start, sm, line)
-                if done > mem_done:
-                    mem_done = done
-            for line in writes:
-                memsys.store(issue_start, sm, line)
-
-            finish = issue_start + record.compute_cycles
-            if mem_done > finish:
-                finish = mem_done
-            self.records_executed += 1
-
-            if group.position < len(group.records):
-                self._seq += 1
-                heappush(heap, (finish, self._seq, group))
-                continue
-
-            if finish > kernel_end:
-                kernel_end = finish
-            cta = group.cta
-            cta.groups_left -= 1
-            if cta.groups_left == 0:
-                self.ctas_executed += 1
-                sm.release_slot()
-                next_index = scheduler.next_cta(sm)
-                if next_index is not None:
-                    self._launch(heap, kernel, next_index, sm, finish)
+        if telemetry is None and self.batched:
+            kernel_end = self._drain_fast(heap, kernel, start_time)
+        else:
+            kernel_end = self._drain_general(heap, kernel, start_time)
 
         if not scheduler.exhausted:  # pragma: no cover - engine invariant
             raise RuntimeError(
@@ -201,6 +173,133 @@ class SimulationEngine:
                 self.records_executed - phase_records,
             )
         return quiesce if quiesce > kernel_end else kernel_end
+
+    # ------------------------------------------------------------------
+    # event-heap drain loops
+    # ------------------------------------------------------------------
+    #
+    # Two implementations of the same event semantics.  _drain_general is
+    # the readable reference: it supports an attached telemetry probe and
+    # the per-line memory path.  _drain_fast is the production hot loop
+    # for the common case (no probe, batched memory path): per-pop
+    # attribute lookups hoisted into locals, issue charging inlined, and
+    # the record's memory batch routed through the bulk MemorySystem
+    # paths.  Both are bit-identical (tests/test_perf_identity.py); any
+    # change to one must be mirrored in the other.
+
+    def _drain_general(self, heap: List, kernel: KernelLaunch, start_time: float) -> float:
+        scheduler = self.scheduler
+        telemetry = self._telemetry
+        memsys = self.system.memsys
+        batched = self.batched
+        kernel_end = start_time
+        while heap:
+            ready, _, group = heappop(heap)
+            # Heap pops are monotone in ready time (pushes always re-arm at
+            # finish >= the current pop), so crossing a window boundary here
+            # closes the window exactly once.  Dormant (+inf) without a probe.
+            if ready >= self._next_sample:
+                self._next_sample = telemetry.take_window(
+                    ready, self.system, self.records_executed
+                )
+            sm = group.cta.sm
+            issue_start = sm.clock if sm.clock > ready else ready
+            record = group.records[group.position]
+            group.position += 1
+            reads = record.reads
+            writes = record.writes
+            sm.charge_issue(issue_start, record.compute_cycles + len(reads) + len(writes))
+
+            if batched:
+                mem_done = memsys.load_batch(issue_start, sm, reads) if reads else issue_start
+                if writes:
+                    memsys.store_batch(issue_start, sm, writes)
+            else:
+                mem_done = issue_start
+                for line in reads:
+                    done = memsys.load(issue_start, sm, line)
+                    if done > mem_done:
+                        mem_done = done
+                for line in writes:
+                    memsys.store(issue_start, sm, line)
+
+            finish = issue_start + record.compute_cycles
+            if mem_done > finish:
+                finish = mem_done
+            self.records_executed += 1
+
+            if group.position < len(group.records):
+                self._seq += 1
+                heappush(heap, (finish, self._seq, group))
+                continue
+
+            if finish > kernel_end:
+                kernel_end = finish
+            cta = group.cta
+            cta.groups_left -= 1
+            if cta.groups_left == 0:
+                self.ctas_executed += 1
+                sm.release_slot()
+                next_index = scheduler.next_cta(sm)
+                if next_index is not None:
+                    self._launch(heap, kernel, next_index, sm, finish)
+        return kernel_end
+
+    def _drain_fast(self, heap: List, kernel: KernelLaunch, start_time: float) -> float:
+        scheduler = self.scheduler
+        memsys = self.system.memsys
+        load_batch = memsys.load_batch
+        store_batch = memsys.store_batch
+        pop = heappop
+        push = heappush
+        seq = self._seq
+        records_executed = 0
+        kernel_end = start_time
+        while heap:
+            ready, _, group = pop(heap)
+            cta = group.cta
+            sm = cta.sm
+            clock = sm.clock
+            issue_start = clock if clock > ready else ready
+            position = group.position
+            records = group.records
+            compute_cycles, reads, writes = records[position]
+            position += 1
+            group.position = position
+            # Inlined SM.charge_issue (same arithmetic, no call).
+            busy = (compute_cycles + len(reads) + len(writes)) / sm.issue_throughput
+            sm.clock = issue_start + busy
+            sm.issue_busy_cycles += busy
+
+            mem_done = load_batch(issue_start, sm, reads) if reads else issue_start
+            if writes:
+                store_batch(issue_start, sm, writes)
+
+            finish = issue_start + compute_cycles
+            if mem_done > finish:
+                finish = mem_done
+            records_executed += 1
+
+            if position < len(records):
+                seq += 1
+                push(heap, (finish, seq, group))
+                continue
+
+            if finish > kernel_end:
+                kernel_end = finish
+            cta.groups_left -= 1
+            if cta.groups_left == 0:
+                self.ctas_executed += 1
+                sm.release_slot()
+                next_index = scheduler.next_cta(sm)
+                if next_index is not None:
+                    # _launch shares the sequence counter; sync around it.
+                    self._seq = seq
+                    self._launch(heap, kernel, next_index, sm, finish)
+                    seq = self._seq
+        self._seq = seq
+        self.records_executed += records_executed
+        return kernel_end
 
     def _launch(self, heap: List, kernel: KernelLaunch, cta_index: int, sm, at: float) -> None:
         # Loop rather than recurse: a degenerate all-empty CTA retires

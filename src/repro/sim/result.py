@@ -15,6 +15,14 @@ from typing import Dict, Optional
 from ..core.energy import EnergyBreakdown, IntegrationTier, breakdown_from_traffic
 from ..memory.cache import CacheStats
 
+#: Serialized-result schema revision.  Bumped when the *shape or meaning*
+#: of a SimResult's counters changes without the timing model (MODEL_REV)
+#: moving — e.g. the store-path bypass accounting fix plus the
+#: read-vs-write cache-stat split (schema 2).  The result cache embeds
+#: this in every entry so stale-schema entries self-invalidate instead of
+#: serving results whose stats no longer satisfy the invariant layer.
+RESULT_SCHEMA = 2
+
 
 @dataclass(frozen=True)
 class SimResult:

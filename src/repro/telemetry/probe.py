@@ -44,7 +44,14 @@ DEFAULT_WINDOW_CYCLES = 4096.0
 
 @dataclass(frozen=True)
 class WindowSample:
-    """Counter deltas over one sampling window ``[start, end)``."""
+    """Counter deltas over one sampling window ``[start, end)``.
+
+    The ``*_hits`` fields are *total* lookup-hit deltas, matching the
+    per-level :class:`~repro.memory.cache.CacheStats` counters (so
+    ``sum(w.l1_hits) == result.l1.hits``); the write-touch share of each
+    is broken out in ``l1_write_hits``/``l15_write_hits`` so the derived
+    hit *rates* can be load-only — the Figure 6/7 quantity.
+    """
 
     start: float
     end: float
@@ -65,6 +72,10 @@ class WindowSample:
     dram_bytes: int
     link_bytes: int
     n_sms: int
+    #: Store touch-hits included in ``l1_hits`` (see class docstring).
+    l1_write_hits: int = 0
+    #: Store touch-hits included in ``l15_hits``.
+    l15_write_hits: int = 0
 
     @property
     def duration(self) -> float:
@@ -78,13 +89,18 @@ class WindowSample:
 
     @property
     def l1_hit_rate(self) -> float:
-        """L1 hit ratio within this window (0.0 when untouched)."""
-        return self._rate(self.l1_hits, self.l1_misses)
+        """Load-only L1 hit ratio within this window (0.0 when untouched).
+
+        Write touch-hits are excluded — at a write-through level a store
+        can only hit or bypass, so counting it would inflate the rate the
+        paper reports for Figures 6/7.
+        """
+        return self._rate(self.l1_hits - self.l1_write_hits, self.l1_misses)
 
     @property
     def l15_hit_rate(self) -> float:
-        """L1.5 hit ratio within this window."""
-        return self._rate(self.l15_hits, self.l15_misses)
+        """Load-only L1.5 hit ratio within this window (Figure 6/7 quantity)."""
+        return self._rate(self.l15_hits - self.l15_write_hits, self.l15_misses)
 
     @property
     def l2_hit_rate(self) -> float:
@@ -165,8 +181,10 @@ class _Snapshot:
         "remote_stores",
         "l1_hits",
         "l1_misses",
+        "l1_write_hits",
         "l15_hits",
         "l15_misses",
+        "l15_write_hits",
         "l2_hits",
         "l2_misses",
         "local_requests",
@@ -182,8 +200,8 @@ class _Snapshot:
         self.loads, self.stores, self.remote_loads, self.remote_stores = (
             memsys.counter_snapshot()
         )
-        l1_hits = l1_misses = 0
-        l15_hits = l15_misses = 0
+        l1_hits = l1_misses = l1_write_hits = 0
+        l15_hits = l15_misses = l15_write_hits = 0
         l2_hits = l2_misses = 0
         local = remote = 0
         busy = 0.0
@@ -193,17 +211,21 @@ class _Snapshot:
                 stats = sm.l1.stats
                 l1_hits += stats.hits
                 l1_misses += stats.misses
+                l1_write_hits += stats.write_hits
                 busy += sm.issue_busy_cycles
             if gpm.l15 is not None:
                 l15_hits += gpm.l15.stats.hits
                 l15_misses += gpm.l15.stats.misses
+                l15_write_hits += gpm.l15.stats.write_hits
             l2_hits += gpm.l2.stats.hits
             l2_misses += gpm.l2.stats.misses
             local += gpm.xbar.local_requests
             remote += gpm.xbar.remote_requests
             dram += gpm.dram.pipe.bytes_transferred
         self.l1_hits, self.l1_misses = l1_hits, l1_misses
+        self.l1_write_hits = l1_write_hits
         self.l15_hits, self.l15_misses = l15_hits, l15_misses
+        self.l15_write_hits = l15_write_hits
         self.l2_hits, self.l2_misses = l2_hits, l2_misses
         self.local_requests, self.remote_requests = local, remote
         self.issue_busy_cycles = busy
@@ -311,8 +333,10 @@ class Telemetry:
                 remote_stores=snap.remote_stores - last.remote_stores,
                 l1_hits=snap.l1_hits - last.l1_hits,
                 l1_misses=snap.l1_misses - last.l1_misses,
+                l1_write_hits=snap.l1_write_hits - last.l1_write_hits,
                 l15_hits=snap.l15_hits - last.l15_hits,
                 l15_misses=snap.l15_misses - last.l15_misses,
+                l15_write_hits=snap.l15_write_hits - last.l15_write_hits,
                 l2_hits=snap.l2_hits - last.l2_hits,
                 l2_misses=snap.l2_misses - last.l2_misses,
                 local_requests=snap.local_requests - last.local_requests,
@@ -381,7 +405,10 @@ class Telemetry:
             "peak_pipe": peak_name,
             "peak_pipe_window_start": peak_start,
             "peak_pipe_occupancy": peak_fraction,
-            "l1_hit_rate": WindowSample._rate(last.l1_hits, last.l1_misses)
+            # Load-only, like WindowSample.l1_hit_rate (Figure 6/7 quantity).
+            "l1_hit_rate": WindowSample._rate(
+                last.l1_hits - last.l1_write_hits, last.l1_misses
+            )
             if last
             else 0.0,
             "l2_hit_rate": WindowSample._rate(last.l2_hits, last.l2_misses)

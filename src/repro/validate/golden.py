@@ -195,8 +195,14 @@ class GoldenStore:
         with open(self.path) as handle:
             return json.load(handle)
 
-    def bless(self, results: Sequence[SimResult]) -> None:
-        """Freeze ``results`` as the new snapshot (atomic replace)."""
+    def bless(self, results: Sequence[SimResult], note: Optional[str] = None) -> None:
+        """Freeze ``results`` as the new snapshot (atomic replace).
+
+        ``note`` is free-form provenance recorded alongside the snapshot —
+        use it to say *why* a re-bless happened (e.g. "digest format
+        refresh, zero metric drift") so a future diff against history has
+        the context.
+        """
         snapshot = {
             "model_rev": MODEL_REV,
             "entries": {
@@ -204,6 +210,8 @@ class GoldenStore:
                 for r in results
             },
         }
+        if note:
+            snapshot["note"] = note
         self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.path.with_suffix(".json.tmp")
         with open(tmp, "w") as handle:
@@ -268,11 +276,13 @@ def run_golden_matrix(
     return results
 
 
-def bless(store: Optional[GoldenStore] = None) -> Tuple[int, Path]:
+def bless(
+    store: Optional[GoldenStore] = None, note: Optional[str] = None
+) -> Tuple[int, Path]:
     """Run the matrix and freeze it; returns ``(n_entries, store path)``."""
     store = store or GoldenStore()
     results = run_golden_matrix()
-    store.bless(results)
+    store.bless(results, note=note)
     return len(results), store.path
 
 

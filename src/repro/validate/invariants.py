@@ -8,8 +8,16 @@ request path in :mod:`repro.core.memsys`, not tolerance bands:
 
 * every store and every L1-missing load is routed exactly once, so
   ``page_local + page_remote == l1.misses + stores``;
+* the write-through L1 sees every load as a lookup and every store as a
+  fused write touch, so ``l1.accesses == loads + l1.write_hits`` and
+  ``l1.write_hits + l1.bypasses == stores`` (a store is a write hit when
+  the line was resident, a bypass otherwise — never a lookup miss);
 * the remote routing split mirrors the memsys counters exactly, so
   ``page_remote == remote_loads + remote_stores``;
+* the write-allocate L2 takes every store as a write lookup, so
+  ``l2.write_hits + l2.write_misses == stores``, and sees every routed
+  request except L1.5 *load* hits, so
+  ``l2.accesses == l1.misses + stores - (l15.hits - l15.write_hits)``;
 * every L2 miss fetches one line and every L2 eviction writes one line,
   so DRAM array traffic is ``l2 counters x line_bytes`` plus migration;
 * a system that never routed a request remotely carried no link traffic.
@@ -90,7 +98,15 @@ def check_result(result: SimResult, config=None) -> List[Violation]:
             fail("non-negative", f"{name} is negative ({value})")
     for level in ("l1", "l15", "l2"):
         stats = getattr(result, level)
-        for field in ("hits", "misses", "writebacks", "flushes", "bypasses"):
+        for field in (
+            "hits",
+            "misses",
+            "writebacks",
+            "flushes",
+            "bypasses",
+            "write_hits",
+            "write_misses",
+        ):
             value = getattr(stats, field)
             if value < 0:
                 fail("non-negative", f"{level}.{field} is negative ({value})")
@@ -99,6 +115,16 @@ def check_result(result: SimResult, config=None) -> List[Violation]:
                 "cache-accesses",
                 f"{level}: hits + misses ({stats.hits} + {stats.misses}) "
                 f"!= accesses ({stats.accesses})",
+            )
+        if stats.write_hits > stats.hits:
+            fail(
+                "write-split",
+                f"{level}.write_hits {stats.write_hits} > hits {stats.hits}",
+            )
+        if stats.write_misses > stats.misses:
+            fail(
+                "write-split",
+                f"{level}.write_misses {stats.write_misses} > misses {stats.misses}",
             )
 
     if result.remote_loads > result.loads:
@@ -109,16 +135,24 @@ def check_result(result: SimResult, config=None) -> List[Violation]:
             f"remote_stores {result.remote_stores} > stores {result.stores}",
         )
 
-    # L1: every load looks up the L1; stores touch it only when the line is
-    # resident (write-through no-allocate probe), and such touches always
-    # hit — so L1 misses are load misses exactly.
+    # L1: every load looks up the L1; every store is a fused write touch
+    # that counts a write hit (line resident) or a bypass (line absent,
+    # forwarded downstream without allocating).  L1 misses are therefore
+    # load misses exactly, and the lookup/store accounting is exact.
     if result.l1.misses > result.loads:
         fail("l1-misses", f"l1.misses {result.l1.misses} > loads {result.loads}")
-    if not result.loads <= result.l1.accesses <= result.loads + result.stores:
+    if result.l1.accesses != result.loads + result.l1.write_hits:
         fail(
             "l1-accesses",
-            f"l1.accesses {result.l1.accesses} outside "
-            f"[loads, loads + stores] = [{result.loads}, {result.loads + result.stores}]",
+            f"l1.accesses {result.l1.accesses} != loads + l1.write_hits "
+            f"({result.loads} + {result.l1.write_hits})",
+        )
+    if result.l1.write_hits + result.l1.bypasses != result.stores:
+        fail(
+            "l1-store-accounting",
+            f"l1.write_hits + l1.bypasses "
+            f"({result.l1.write_hits} + {result.l1.bypasses}) "
+            f"!= stores ({result.stores})",
         )
 
     # Routing conservation: every L1-missing load and every store is
@@ -138,24 +172,38 @@ def check_result(result: SimResult, config=None) -> List[Violation]:
             f"({result.remote_loads + result.remote_stores})",
         )
 
-    # L1.5 sits behind the L1 on the routed path only.
+    # L1.5 sits behind the L1 on the routed path only; stores reach it as
+    # write touches (hit) or bypasses (miss), and only when the level
+    # exists and its allocation policy admits the request's route.
     if result.l15.accesses > expected_routed:
         fail(
             "l15-accesses",
             f"l15.accesses {result.l15.accesses} > routed requests {expected_routed}",
         )
-
-    # L2 sees every routed request except L1.5 load hits.
-    if result.l2.accesses > expected_routed:
+    if result.l15.write_hits + result.l15.bypasses > result.stores:
         fail(
-            "l2-accesses",
-            f"l2.accesses {result.l2.accesses} > routed requests {expected_routed}",
+            "l15-store-accounting",
+            f"l15.write_hits + l15.bypasses "
+            f"({result.l15.write_hits} + {result.l15.bypasses}) "
+            f"> stores ({result.stores})",
         )
-    if result.l2.accesses < expected_routed - result.l15.hits:
+
+    # L2 sees every routed request except L1.5 *load* hits (a store that
+    # touch-hits the write-through L1.5 still writes through to the L2),
+    # and takes every store as a write-allocate lookup.
+    expected_l2 = expected_routed - (result.l15.hits - result.l15.write_hits)
+    if result.l2.accesses != expected_l2:
         fail(
             "l2-accesses",
-            f"l2.accesses {result.l2.accesses} < routed - l15.hits "
-            f"({expected_routed} - {result.l15.hits})",
+            f"l2.accesses {result.l2.accesses} != routed - l15 load hits "
+            f"({expected_routed} - ({result.l15.hits} - {result.l15.write_hits}))",
+        )
+    if result.l2.write_hits + result.l2.write_misses != result.stores:
+        fail(
+            "l2-store-accounting",
+            f"l2.write_hits + l2.write_misses "
+            f"({result.l2.write_hits} + {result.l2.write_misses}) "
+            f"!= stores ({result.stores})",
         )
 
     # DRAM conservation: one line fetched per L2 miss (reads and
@@ -202,10 +250,11 @@ def _check_link_bounds(result: SimResult, config) -> List[Violation]:
     max_hops = 1 if config.topology == "fully_connected" else max(1, config.n_gpms // 2)
     load_bytes = 2 * REQUEST_HEADER_BYTES + LINE_BYTES
     store_bytes = REQUEST_HEADER_BYTES + LINE_BYTES
-    # L1.5 hits include store probe-hits (which still ride the ring), so
-    # subtracting all hits from remote loads under-counts ring transactions
-    # — a valid lower bound.
-    ring_loads = max(0, result.remote_loads - result.l15.hits)
+    # L1.5 *load* hits (hits minus write touch-hits) are the only requests
+    # that never reach the ring; some of them may be on the local route
+    # under the ALL allocation policy, so subtracting them all from remote
+    # loads still under-counts ring transactions — a valid lower bound.
+    ring_loads = max(0, result.remote_loads - (result.l15.hits - result.l15.write_hits))
     lower = ring_loads * load_bytes + result.remote_stores * store_bytes
     upper = (
         result.remote_loads * load_bytes

@@ -20,6 +20,7 @@ from .rng import rng_for
 from .trace import (
     CTATrace,
     KernelLaunch,
+    TraceMemo,
     TraceRecord,
     Workload,
     records_from_arrays,
@@ -131,6 +132,9 @@ class SyntheticWorkload(Workload):
         self.name = spec.name
         self._pattern = spec.build_pattern()
         self._write_period = write_period_from_fraction(spec.write_fraction)
+        # Materialized CTA traces, shared across kernel launches and runs
+        # (traces are deterministic and the engine never mutates them).
+        self._trace_memo = TraceMemo()
 
     @property
     def category(self) -> Category:
@@ -151,10 +155,12 @@ class SyntheticWorkload(Workload):
         pattern = self._pattern
         write_period = self._write_period
         # Patterns that move between launches see the kernel index in the
-        # seed; iterative patterns reproduce the same stream each launch.
+        # seed; iterative patterns reproduce the same stream each launch —
+        # and hit the trace memo instead of regenerating (for them every
+        # launch shares the seed-0 materialization).
         seed_kernel = kernel_index if pattern.kernel_variant else 0
 
-        def trace_fn(cta_index: int) -> CTATrace:
+        def build_trace(cta_index: int) -> CTATrace:
             records_per_group = spec.records_for_cta(cta_index)
             per_group_accesses = records_per_group * spec.accesses_per_record
             total_accesses = per_group_accesses * spec.groups_per_cta
@@ -180,7 +186,7 @@ class SyntheticWorkload(Workload):
                 )
             return trace
 
-        return trace_fn
+        return self._trace_memo.wrap(seed_kernel, build_trace)
 
     def digest(self) -> str:
         return self.spec.digest()

@@ -64,6 +64,58 @@ class KernelLaunch:
             raise ValueError(f"groups_per_cta must be positive, got {self.groups_per_cta}")
 
 
+class TraceMemo:
+    """Per-workload memo of materialized CTA traces.
+
+    Trace functions are deterministic (same trace seed + CTA index -> same
+    trace) and the engine treats traces as read-only, so one
+    materialization can be handed out again and again: across kernel
+    launches (iteration-structured kernels re-walk identical traces) and
+    across runs (a suite simulates the same workload object on many
+    systems back to back).  Trace generation — RNG streams, pattern
+    synthesis, record packing — disappears from every walk but the first.
+
+    Memory stays bounded by the workload itself: the memo holds at most
+    one trace per (trace seed, CTA index) pair, i.e. the same volume of
+    records the engine must materialize anyway for a single pass over the
+    workload's distinct kernels.
+    """
+
+    __slots__ = ("_cache", "materializations", "reuses")
+
+    def __init__(self) -> None:
+        self._cache: dict = {}
+        #: Builder invocations (cache misses) — tests assert reuse by
+        #: checking this stays flat across repeated walks.
+        self.materializations = 0
+        #: Traces served from the memo without regeneration.
+        self.reuses = 0
+
+    def wrap(self, trace_seed: int, builder: Callable[[int], CTATrace]):
+        """A memoizing ``trace_fn`` for the kernel variant ``trace_seed``."""
+        cache = self._cache
+
+        def trace_fn(cta_index: int) -> CTATrace:
+            key = (trace_seed, cta_index)
+            trace = cache.get(key)
+            if trace is None:
+                trace = builder(cta_index)
+                cache[key] = trace
+                self.materializations += 1
+            else:
+                self.reuses += 1
+            return trace
+
+        return trace_fn
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> None:
+        """Drop all memoized traces (they regenerate on demand)."""
+        self._cache.clear()
+
+
 class Workload:
     """Base interface: a named, categorized sequence of kernel launches."""
 
