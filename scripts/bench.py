@@ -4,7 +4,7 @@
 Runs the micro suite serially with the result cache bypassed (every run
 simulates) and emits a numbered JSON report at the repository root::
 
-    python scripts/bench.py                    # writes BENCH_5.json
+    python scripts/bench.py                    # writes BENCH_6.json
     python scripts/bench.py --fast             # CI smoke: one repeat
     python scripts/bench.py --compare OLD.json # embed baseline + speedup
 
@@ -30,7 +30,7 @@ from repro.sim.simulator import Simulator
 from repro.validate.properties import micro_suite
 
 #: PR number stamped into the default output name (``BENCH_<pr>.json``).
-DEFAULT_PR = 5
+DEFAULT_PR = 6
 
 
 def repo_root() -> Path:

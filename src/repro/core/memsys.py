@@ -64,6 +64,9 @@ class MemorySystem:
             else None
         )
         self.migration_bytes = 0
+        # Deferred-counter flush hooks installed by make_walkers(); empty
+        # whenever the walker fast path is not in use.
+        self._walker_flushes: list = []
 
     # ------------------------------------------------------------------
     # public API used by the simulation engine
@@ -362,6 +365,508 @@ class MemorySystem:
         xbar.remote_requests += remote_homes
 
     # ------------------------------------------------------------------
+    # array-backed fast path (per-SM fused walkers)
+    # ------------------------------------------------------------------
+    #
+    # The walker consumes geometry-specialized records — read/write lists
+    # of (line, l1_set, home_key) triples precomputed by whole-column
+    # numpy ops in ColumnarCTATrace.fast_groups — and walks one record's
+    # memory batch with every residual Python step fused into a single
+    # closure: L1/L1.5/L2 dict mutations, homing resolution from the
+    # precomputed key, and pipe charges.  Same line order, same state
+    # mutations, same charge times as per-line load()/store(); the only
+    # reorderings are (a) pure-count counters accumulated in closure cells
+    # and flushed at kernel boundaries (nothing reads them mid-kernel) and
+    # (b) a record's *local* DRAM line charges collapsed into one
+    # BandwidthPipe.transfer_run — all local lines in a record charge the
+    # same pipe at the same cycle with the same byte count, so the greedy
+    # bucket fill is associative and only the last finish is observable.
+    # tests/test_perf_identity.py pins bit-identity across the matrix.
+
+    def walk_geometry(self, packed: bool = True) -> "WalkGeometry":
+        """The :class:`WalkGeometry` traces are specialized against."""
+        from ..workloads.trace import WalkGeometry
+
+        page_table = self._page_table
+        policy = page_table.policy
+        gpms = self._gpms
+        sm0 = gpms[0].sms[0]
+        # L2/L1.5 set indices are precomputable only when the level has one
+        # set count across every GPM (0 = walkers derive the index).
+        l2_counts = {gpm.l2.n_sets for gpm in gpms}
+        n_l2_sets = l2_counts.pop() if len(l2_counts) == 1 else 0
+        l15_counts = {
+            gpm.l15.n_sets if gpm.has_l15 else 0 for gpm in gpms
+        }
+        n_l15_sets = l15_counts.pop() if len(l15_counts) == 1 else 0
+        return WalkGeometry(
+            packed=packed,
+            n_l1_sets=sm0.l1.n_sets if packed else 0,
+            line_interleaved=page_table._line_interleaved if packed else False,
+            n_partitions=policy.n_partitions if packed else 0,
+            lines_per_page=page_table.address_map.lines_per_page if packed else 0,
+            issue_throughput=sm0.issue_throughput,
+            n_l2_sets=n_l2_sets if packed else 0,
+            n_l15_sets=n_l15_sets if packed else 0,
+        )
+
+    def make_walkers(self):
+        """Build per-SM ``(walk, walk_unique)`` pairs, or ``None``.
+
+        The pairs come from the per-GPM code generator in
+        :mod:`repro.core.walkgen`; ``walk_unique`` is the flavor the engine
+        selects for kernels with globally unique address columns.  System
+        shapes the generator cannot specialize fall back to the generic
+        fused walker (used for both flavors).  Migrating placement policies
+        interleave page-copy charges with line charges and do per-access
+        work inside homing, so they keep the ``load_batch``/``store_batch``
+        path entirely.  Must be called after ``system.reset()`` — walkers
+        bind the current stats objects.
+        """
+        self._walker_flushes = []
+        if self._migrating_policy is not None:
+            return None
+        from .walkgen import UnsupportedWalk, build_walkers
+
+        try:
+            return build_walkers(self)
+        except UnsupportedWalk:
+            self._walker_flushes = []
+            return [
+                (walk, walk)
+                for walk in (
+                    self._make_walker(sm) for gpm in self._gpms for sm in gpm.sms
+                )
+            ]
+
+    def flush_walk_counters(self) -> None:
+        """Fold the walkers' deferred counters into the real stats objects.
+
+        Called at the end of every kernel drain (before live validation
+        and cache flushes read the counters) and is idempotent — cells are
+        zeroed as they are flushed.
+        """
+        for flush in self._walker_flushes:
+            flush()
+
+    def _make_walker(self, sm: "SM"):
+        """Fused per-record memory walk for ``sm`` (see block comment)."""
+        gpm_id = sm.gpm_id
+        gpms = self._gpms
+        gpm = gpms[gpm_id]
+        l1 = sm.l1
+        l1_sets = l1._sets
+        l1_n_sets = l1.n_sets
+        l1_ways = l1.ways
+        l1_track_dirty = l1._track_dirty
+        l1_stats = l1.stats
+        l1_hit_latency = sm.l1_hit_latency
+        xbar_latency = gpm.xbar_latency
+        xbar = gpm.xbar
+
+        page_table = self._page_table
+        policy = page_table.policy
+        line_interleaved = page_table._line_interleaved
+        partition_of_page = policy.partition_of_page
+        page_map = getattr(policy, "_page_map", None)
+        page_map_get = page_map.get if page_map is not None else None
+
+        l15 = gpm.l15
+        l15_caches_local = gpm.l15_caches_local
+        has_l15 = gpm.has_l15
+        l15_hit_latency = gpm.l15_hit_latency
+        l15_miss_penalty = gpm.l15_miss_penalty
+        if l15 is not None:
+            l15_sets = l15._sets
+            l15_n_sets = l15.n_sets
+            l15_ways = l15.ways
+            l15_track_dirty = l15._track_dirty
+            l15_stats = l15.stats
+        else:
+            l15_sets = None
+            l15_n_sets = 0
+            l15_ways = 0
+            l15_track_dirty = False
+            l15_stats = None
+
+        n_homes = len(gpms)
+        l2_sets_by = [g.l2._sets for g in gpms]
+        l2_n_sets_by = [g.l2.n_sets for g in gpms]
+        l2_ways_by = [g.l2.ways for g in gpms]
+        l2_track_by = [g.l2._track_dirty for g in gpms]
+        l2_stats_by = [g.l2.stats for g in gpms]
+        l2_hit_by = [g.l2_hit_latency for g in gpms]
+        drams = [g.dram for g in gpms]
+        dram_run_by = [g.dram.pipe.transfer_run for g in gpms]
+
+        own_l2_sets = l2_sets_by[gpm_id]
+        own_l2_n_sets = l2_n_sets_by[gpm_id]
+        own_l2_ways = l2_ways_by[gpm_id]
+        own_l2_track = l2_track_by[gpm_id]
+        own_l2_stats = l2_stats_by[gpm_id]
+        own_l2_hit = l2_hit_by[gpm_id]
+        own_dram = drams[gpm_id]
+        own_dram_run = dram_run_by[gpm_id]
+        own_line_bytes = own_dram.line_bytes
+        own_dram_latency = own_dram.latency_cycles
+        # Constant local-path charge time offset past base_time: the
+        # optional L1.5 miss penalty (ALL allocation policy) plus the L2
+        # hit latency, identical for every local line of a record.
+        local_extra = (
+            l15_miss_penalty + own_l2_hit if l15_caches_local else own_l2_hit
+        )
+
+        # Ring hops as prebound (pipe.transfer, latency) pairs per home;
+        # same link walk and charge order as RingNetwork.transfer.
+        routes = self._ring._routes
+        if routes:
+            req_hops = [
+                tuple(
+                    (link.request_pipe.transfer, link.latency_cycles)
+                    for link in routes[gpm_id][home]
+                )
+                for home in range(n_homes)
+            ]
+            resp_hops = [
+                tuple(
+                    (link.response_pipe.transfer, link.latency_cycles)
+                    for link in routes[home][gpm_id]
+                )
+                for home in range(n_homes)
+            ]
+        else:
+            req_hops = resp_hops = None
+        request_bytes = REQUEST_HEADER_BYTES
+        response_bytes = LINE_BYTES + REQUEST_HEADER_BYTES
+        store_bytes = LINE_BYTES + REQUEST_HEADER_BYTES
+
+        # Deferred pure-count counters (flushed per kernel; order-free).
+        c_loads = 0
+        c_stores = 0
+        c_remote_loads = 0
+        c_remote_stores = 0
+        c_local_homes = 0
+        c_remote_homes = 0
+        c_l1_hits = 0
+        c_l1_misses = 0
+        c_l1_writebacks = 0
+        c_l1_bypasses = 0
+        c_l1_write_hits = 0
+
+        def walk(now, reads, writes):
+            nonlocal c_loads, c_stores, c_remote_loads, c_remote_stores
+            nonlocal c_local_homes, c_remote_homes
+            nonlocal c_l1_hits, c_l1_misses, c_l1_writebacks
+            nonlocal c_l1_bypasses, c_l1_write_hits
+            mem_done = now
+            if reads:
+                c_loads += len(reads)
+                hit_time = now + l1_hit_latency
+                misses = None
+                if l1_n_sets:
+                    for trip in reads:
+                        line = trip[0]
+                        cache_set = l1_sets[trip[1]]
+                        dirty = cache_set.pop(line, None)
+                        if dirty is not None:
+                            c_l1_hits += 1
+                            cache_set[line] = dirty
+                            continue
+                        c_l1_misses += 1
+                        if len(cache_set) >= l1_ways:
+                            if cache_set.pop(next(iter(cache_set))):
+                                c_l1_writebacks += 1
+                        cache_set[line] = False
+                        if misses is None:
+                            misses = [trip]
+                        else:
+                            misses.append(trip)
+                else:
+                    c_l1_misses += len(reads)
+                    misses = reads
+                if misses is None:
+                    # Every line hit: the batch completes at L1 latency.
+                    mem_done = hit_time
+                else:
+                    base_time = hit_time + xbar_latency
+                    local_time = base_time + local_extra
+                    local_fills = 0
+                    for trip in misses:
+                        line = trip[0]
+                        home_key = trip[2]
+                        if line_interleaved:
+                            home = home_key
+                        elif page_map_get is not None:
+                            home = page_map_get(home_key)
+                            if home is None:
+                                home = partition_of_page(home_key, gpm_id)
+                        else:
+                            home = partition_of_page(home_key, gpm_id)
+                        if home == gpm_id:
+                            c_local_homes += 1
+                            if l15_caches_local:
+                                if l15_n_sets:
+                                    cache_set = l15_sets[line % l15_n_sets]
+                                    dirty = cache_set.pop(line, None)
+                                    if dirty is not None:
+                                        l15_stats.hits += 1
+                                        cache_set[line] = dirty
+                                        done = base_time + l15_hit_latency
+                                        if done > mem_done:
+                                            mem_done = done
+                                        continue
+                                    l15_stats.misses += 1
+                                    if len(cache_set) >= l15_ways:
+                                        if cache_set.pop(next(iter(cache_set))):
+                                            l15_stats.writebacks += 1
+                                    cache_set[line] = False
+                                else:
+                                    l15_stats.misses += 1
+                            # Local memory-side L2; DRAM line charges are
+                            # batched into one run after the loop.
+                            if own_l2_n_sets:
+                                cache_set = own_l2_sets[line % own_l2_n_sets]
+                                dirty = cache_set.pop(line, None)
+                                if dirty is not None:
+                                    own_l2_stats.hits += 1
+                                    cache_set[line] = dirty
+                                    if local_time > mem_done:
+                                        mem_done = local_time
+                                    continue
+                                own_l2_stats.misses += 1
+                                if len(cache_set) >= own_l2_ways:
+                                    if cache_set.pop(next(iter(cache_set))):
+                                        own_l2_stats.writebacks += 1
+                                        own_dram.writes += 1
+                                        local_fills += 1
+                                cache_set[line] = False
+                            else:
+                                own_l2_stats.misses += 1
+                            own_dram.reads += 1
+                            local_fills += 1
+                        else:
+                            c_remote_homes += 1
+                            c_remote_loads += 1
+                            time = base_time
+                            if has_l15:
+                                if l15_n_sets:
+                                    cache_set = l15_sets[line % l15_n_sets]
+                                    dirty = cache_set.pop(line, None)
+                                    if dirty is not None:
+                                        l15_stats.hits += 1
+                                        cache_set[line] = dirty
+                                        done = base_time + l15_hit_latency
+                                        if done > mem_done:
+                                            mem_done = done
+                                        continue
+                                    l15_stats.misses += 1
+                                    if len(cache_set) >= l15_ways:
+                                        if cache_set.pop(next(iter(cache_set))):
+                                            l15_stats.writebacks += 1
+                                    cache_set[line] = False
+                                else:
+                                    l15_stats.misses += 1
+                                time = base_time + l15_miss_penalty
+                            for hop_transfer, hop_latency in req_hops[home]:
+                                time = hop_transfer(time, request_bytes) + hop_latency
+                            time = time + l2_hit_by[home]
+                            n_sets = l2_n_sets_by[home]
+                            stats = l2_stats_by[home]
+                            if n_sets:
+                                cache_set = l2_sets_by[home][line % n_sets]
+                                dirty = cache_set.pop(line, None)
+                                if dirty is not None:
+                                    stats.hits += 1
+                                    cache_set[line] = dirty
+                                    done = time
+                                    for hop_transfer, hop_latency in resp_hops[home]:
+                                        done = (
+                                            hop_transfer(done, response_bytes)
+                                            + hop_latency
+                                        )
+                                    if done > mem_done:
+                                        mem_done = done
+                                    continue
+                                stats.misses += 1
+                                dram = drams[home]
+                                fills = 1
+                                if len(cache_set) >= l2_ways_by[home]:
+                                    if cache_set.pop(next(iter(cache_set))):
+                                        stats.writebacks += 1
+                                        dram.writes += 1
+                                        fills = 2
+                                cache_set[line] = False
+                            else:
+                                stats.misses += 1
+                                dram = drams[home]
+                                fills = 1
+                            dram.reads += 1
+                            done = (
+                                dram_run_by[home](time, dram.line_bytes, fills)
+                                + dram.latency_cycles
+                            )
+                            for hop_transfer, hop_latency in resp_hops[home]:
+                                done = hop_transfer(done, response_bytes) + hop_latency
+                            if done > mem_done:
+                                mem_done = done
+                    if local_fills:
+                        done = (
+                            own_dram_run(local_time, own_line_bytes, local_fills)
+                            + own_dram_latency
+                        )
+                        if done > mem_done:
+                            mem_done = done
+            if writes:
+                c_stores += len(writes)
+                store_time = now + xbar_latency
+                local_write_time = store_time + own_l2_hit
+                local_fills = 0
+                for trip in writes:
+                    line = trip[0]
+                    # Inline write-through no-allocate L1 touch.
+                    if l1_n_sets:
+                        cache_set = l1_sets[trip[1]]
+                        dirty = cache_set.pop(line, None)
+                        if dirty is not None:
+                            c_l1_hits += 1
+                            c_l1_write_hits += 1
+                            cache_set[line] = dirty or l1_track_dirty
+                        else:
+                            c_l1_bypasses += 1
+                    else:
+                        c_l1_bypasses += 1
+                    home_key = trip[2]
+                    if line_interleaved:
+                        home = home_key
+                    elif page_map_get is not None:
+                        home = page_map_get(home_key)
+                        if home is None:
+                            home = partition_of_page(home_key, gpm_id)
+                    else:
+                        home = partition_of_page(home_key, gpm_id)
+                    if home == gpm_id:
+                        c_local_homes += 1
+                        if l15_caches_local:
+                            if l15_n_sets:
+                                cache_set = l15_sets[line % l15_n_sets]
+                                dirty = cache_set.pop(line, None)
+                                if dirty is not None:
+                                    l15_stats.hits += 1
+                                    l15_stats.write_hits += 1
+                                    cache_set[line] = dirty or l15_track_dirty
+                                else:
+                                    l15_stats.bypasses += 1
+                            else:
+                                l15_stats.bypasses += 1
+                        if own_l2_n_sets:
+                            cache_set = own_l2_sets[line % own_l2_n_sets]
+                            dirty = cache_set.pop(line, None)
+                            if dirty is not None:
+                                own_l2_stats.hits += 1
+                                own_l2_stats.write_hits += 1
+                                cache_set[line] = dirty or own_l2_track
+                                continue
+                            own_l2_stats.misses += 1
+                            own_l2_stats.write_misses += 1
+                            if len(cache_set) >= own_l2_ways:
+                                if cache_set.pop(next(iter(cache_set))):
+                                    own_l2_stats.writebacks += 1
+                                    own_dram.writes += 1
+                                    local_fills += 1
+                            cache_set[line] = own_l2_track
+                        else:
+                            own_l2_stats.misses += 1
+                            own_l2_stats.write_misses += 1
+                        # Write-allocate fill, batched like the read path.
+                        own_dram.reads += 1
+                        local_fills += 1
+                    else:
+                        c_remote_homes += 1
+                        c_remote_stores += 1
+                        if has_l15:
+                            if l15_n_sets:
+                                cache_set = l15_sets[line % l15_n_sets]
+                                dirty = cache_set.pop(line, None)
+                                if dirty is not None:
+                                    l15_stats.hits += 1
+                                    l15_stats.write_hits += 1
+                                    cache_set[line] = dirty or l15_track_dirty
+                                else:
+                                    l15_stats.bypasses += 1
+                            else:
+                                l15_stats.bypasses += 1
+                        time = store_time
+                        for hop_transfer, hop_latency in req_hops[home]:
+                            time = hop_transfer(time, store_bytes) + hop_latency
+                        time = time + l2_hit_by[home]
+                        n_sets = l2_n_sets_by[home]
+                        stats = l2_stats_by[home]
+                        track_dirty = l2_track_by[home]
+                        if n_sets:
+                            cache_set = l2_sets_by[home][line % n_sets]
+                            dirty = cache_set.pop(line, None)
+                            if dirty is not None:
+                                stats.hits += 1
+                                stats.write_hits += 1
+                                cache_set[line] = dirty or track_dirty
+                                continue
+                            stats.misses += 1
+                            stats.write_misses += 1
+                            dram = drams[home]
+                            fills = 1
+                            if len(cache_set) >= l2_ways_by[home]:
+                                if cache_set.pop(next(iter(cache_set))):
+                                    stats.writebacks += 1
+                                    dram.writes += 1
+                                    fills = 2
+                            cache_set[line] = track_dirty
+                        else:
+                            stats.misses += 1
+                            stats.write_misses += 1
+                            dram = drams[home]
+                            fills = 1
+                        dram.reads += 1
+                        dram_run_by[home](time, dram.line_bytes, fills)
+                if local_fills:
+                    own_dram_run(local_write_time, own_line_bytes, local_fills)
+            return mem_done
+
+        def flush():
+            nonlocal c_loads, c_stores, c_remote_loads, c_remote_stores
+            nonlocal c_local_homes, c_remote_homes
+            nonlocal c_l1_hits, c_l1_misses, c_l1_writebacks
+            nonlocal c_l1_bypasses, c_l1_write_hits
+            if not (c_loads or c_stores):
+                return
+            self.loads += c_loads
+            self.stores += c_stores
+            self.remote_loads += c_remote_loads
+            self.remote_stores += c_remote_stores
+            page_table.local_resolutions += c_local_homes
+            page_table.remote_resolutions += c_remote_homes
+            xbar.local_requests += c_local_homes
+            xbar.remote_requests += c_remote_homes
+            l1_stats.hits += c_l1_hits
+            l1_stats.misses += c_l1_misses
+            l1_stats.writebacks += c_l1_writebacks
+            l1_stats.bypasses += c_l1_bypasses
+            l1_stats.write_hits += c_l1_write_hits
+            c_loads = 0
+            c_stores = 0
+            c_remote_loads = 0
+            c_remote_stores = 0
+            c_local_homes = 0
+            c_remote_homes = 0
+            c_l1_hits = 0
+            c_l1_misses = 0
+            c_l1_writebacks = 0
+            c_l1_bypasses = 0
+            c_l1_write_hits = 0
+
+        self._walker_flushes.append(flush)
+        return walk
+
+    # ------------------------------------------------------------------
     # page migration (MigratingFirstTouch extension)
     # ------------------------------------------------------------------
 
@@ -396,8 +901,9 @@ class MemorySystem:
     # they mirror ``SetAssocCache.access`` / ``DRAMPartition`` line for
     # line (same counters, same LRU dict operations, same pipe-charge
     # order: write-back before fill), trading the two hottest remaining
-    # call chains for direct dict work.  ``stats`` is re-resolved per call
-    # because ``reset_stats`` replaces the stats object between runs.
+    # call chains for direct dict work.  (``reset_stats`` now zeroes the
+    # stats object in place, so binding it per call is a convenience, not
+    # a correctness requirement.)
 
     def _partition_read(self, now: float, home: int, line_addr: int) -> float:
         gpm = self._gpms[home]

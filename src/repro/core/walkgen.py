@@ -1,0 +1,747 @@
+"""Generated per-GPM memory walkers (partial evaluation of the hot path).
+
+The fused walkers in :mod:`repro.core.memsys` collapse a record's memory
+batch into one closure call, but they still pay, per line, for work that
+is invariant for a given system: homing dispatch over a tuple of candidate
+homes, bound-method calls into every :class:`BandwidthPipe` on the path,
+latency attribute loads, and per-SM deferred-counter cells folded SM by SM.
+
+This module instead *generates* walker source for each GPM with every
+system-invariant decision resolved at build time:
+
+* home dispatch unrolled into literal ``if home == g`` chains (and removed
+  entirely for single-partition systems);
+* every pipe charge inlined: the bucket-reservation fast path of
+  ``BandwidthPipe.transfer`` runs as straight-line code with literal bucket
+  constants, falling back to ``BandwidthPipe.reserve`` for the rare
+  multi-bucket spill;
+* pipe byte/transfer counters derived once per kernel from per-home
+  tallies (ring message sizes are fixed per direction), and ``busy_until``
+  tracked in shared max-cells folded once per kernel;
+* all pure-count statistics accumulated in one shared per-GPM counter list
+  and folded into the real stats objects at kernel boundaries.
+
+Each GPM also gets a second walker flavor, ``walk_u``, selected by the
+engine for kernels whose address columns are globally unique: such a
+kernel can never hit in the write-through, kernel-flushed L1/L1.5 levels,
+so their dict mutations are skipped wholesale.  Counters advance
+identically (every access is a miss/bypass there by construction) and the
+skipped allocations could only have produced clean evictions, so no
+traffic is lost; the levels' transient residency differs within the
+kernel but is invalidated at the boundary before anything reads it.
+
+Everything observable — SimResult fields, cache/DRAM/pipe counters, LRU
+state of the persistent L2 — is bit-identical to the per-line reference
+path; tests/test_perf_identity.py pins this across the config matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class UnsupportedWalk(Exception):
+    """Raised when a system's shape cannot be specialized (caller falls
+    back to the generic fused walker)."""
+
+
+def _ind(level: int, text: str) -> str:
+    return "    " * level + text
+
+
+# Compiled factory code objects keyed by their exact source.  Identical
+# system shapes regenerate identical source, so repeat Simulator
+# constructions (benchmark repeats, sweeps) skip ``compile`` — by far the
+# dominant cost of specialization — and pay only source assembly + exec.
+_CODE_CACHE: Dict[str, object] = {}
+
+
+class _GpmCodegen:
+    """Emits one GPM's ``_factory(sm, ctx) -> (walk, walk_u, flush)``."""
+
+    def __init__(self, memsys, gpm_id, pipe_cells, uniform_l2, uniform_l15,
+                 line_bytes, header_bytes):
+        self.memsys = memsys
+        self.gpms = memsys._gpms
+        self.n = len(self.gpms)
+        self.gid = gpm_id
+        self.gpm = self.gpms[gpm_id]
+        self.pipe_cells = pipe_cells
+        self.uniform_l2 = uniform_l2
+        self.uniform_l15 = uniform_l15
+        self.request_bytes = header_bytes
+        self.response_bytes = line_bytes + header_bytes
+        self.store_bytes = line_bytes + header_bytes
+
+        self._bound: Dict[str, object] = {}
+        self.ctx_names: List[str] = []
+        self.ctx_values: List[object] = []
+        self._pipe_names: Dict[int, dict] = {}
+        self.counters: Dict[str, int] = {}
+        self.gc: list = []
+
+        page_table = memsys._page_table
+        policy = page_table.policy
+        self.interleaved = page_table._line_interleaved
+        self.partition_of_page = policy.partition_of_page
+        page_map = getattr(policy, "_page_map", None)
+        self.page_map_get = page_map.get if page_map is not None else None
+
+        gpm = self.gpm
+        sms = gpm.sms
+        l1_shapes = {
+            (sm.l1.n_sets, sm.l1.ways, sm.l1._track_dirty, sm.l1_hit_latency)
+            for sm in sms
+        }
+        if len(l1_shapes) != 1:
+            raise UnsupportedWalk(f"gpm {gpm_id}: non-uniform L1 shapes")
+        self.l1_n_sets, self.l1_ways, self.l1_track, self.l1_hit = l1_shapes.pop()
+
+        self.has_l15 = gpm.has_l15
+        self.caches_local = gpm.l15_caches_local
+        self.l15 = gpm.l15
+        self.xbar_lat = gpm.xbar_latency
+        self.own_l2_hit = gpm.l2_hit_latency
+        self.l15_pen = gpm.l15_miss_penalty
+        self.l15_hit = gpm.l15_hit_latency
+        self.local_extra = (
+            self.l15_pen + self.own_l2_hit if self.caches_local else self.own_l2_hit
+        )
+        self.own_dram = gpm.dram
+
+    # -- binding helpers -------------------------------------------------
+
+    def bind(self, name: str, value) -> str:
+        known = self._bound.get(name)
+        if known is not None:
+            if known is not value:  # pragma: no cover - generator invariant
+                raise UnsupportedWalk(f"ctx name collision: {name}")
+            return name
+        self._bound[name] = value
+        self.ctx_names.append(name)
+        self.ctx_values.append(value)
+        return name
+
+    def cell(self, name: str) -> str:
+        index = self.counters.get(name)
+        if index is None:
+            index = self.counters[name] = len(self.counters)
+        return f"_GC[{index}]"
+
+    def pipe_names(self, pipe) -> dict:
+        names = self._pipe_names.get(id(pipe))
+        if names is not None:
+            return names
+        cell = self.pipe_cells.get(id(pipe))
+        if cell is None:
+            cell = self.pipe_cells[id(pipe)] = (pipe, [0.0])
+        k = len(self._pipe_names)
+        names = {
+            "U": self.bind(f"_U{k}", pipe._used),
+            "G": self.bind(f"_G{k}", pipe._used.get),
+            "P": self.bind(f"_P{k}", pipe),
+            "A": self.bind(f"_A{k}", pipe._advance_full_prefix),
+            "R": self.bind(f"_R{k}", pipe.reserve),
+            "RN": self.bind(f"_RN{k}", pipe.reserve_run),
+            "M": self.bind(f"_M{k}", cell[1]),
+            "bc": repr(pipe.bucket_cycles),
+            "cap": repr(pipe.bucket_capacity),
+            "bw": pipe.bytes_per_cycle,
+        }
+        self._pipe_names[id(pipe)] = names
+        return names
+
+    def l2_set_expr(self, home: int) -> str:
+        n_sets = self.gpms[home].l2.n_sets
+        if self.uniform_l2 and self.uniform_l2 == n_sets:
+            return "trip[3]"
+        return f"line % {n_sets}"
+
+    def l15_set_expr(self) -> str:
+        n_sets = self.l15.n_sets
+        if self.uniform_l15 and self.uniform_l15 == n_sets:
+            return "trip[4]"
+        return f"line % {n_sets}"
+
+    # -- charge emission -------------------------------------------------
+
+    def _emit_charge(self, out, ind, pipe, tvar, n_bytes):
+        """Inline ``pipe.transfer(tvar, n_bytes)``; floored finish in ``_f``.
+
+        Counters and ``busy_until`` are deferred: byte/transfer totals are
+        derived from the per-home tallies at fold time, and the max-cell
+        update here feeds the once-per-kernel ``busy_until`` fold.
+        """
+        p = self.pipe_names(pipe)
+        floor = repr(n_bytes / p["bw"])
+        out += [
+            _ind(ind, f"_b = int({tvar} / {p['bc']})"),
+            _ind(ind, f"_fp = {p['P']}._full_prefix"),
+            _ind(ind, "if _b < _fp:"),
+            _ind(ind + 1, "_b = _fp"),
+            _ind(ind, f"_o = {p['G']}(_b, 0.0)"),
+            _ind(ind, f"_n = _o + {n_bytes}"),
+            _ind(ind, f"if _n <= {p['cap']}:"),
+            _ind(ind + 1, f"{p['U']}[_b] = _n"),
+            _ind(ind + 1, f"_f = (_b + _n / {p['cap']}) * {p['bc']}"),
+            _ind(ind + 1, f"if _n >= {p['cap']} and _b == _fp:"),
+            _ind(ind + 2, f"{p['A']}(_b + 1)"),
+            _ind(ind, "else:"),
+            _ind(ind + 1, f"_f = {p['R']}({tvar}, {n_bytes})"),
+            _ind(ind, f"_g = {tvar} + {floor}"),
+            _ind(ind, "if _f < _g:"),
+            _ind(ind + 1, "_f = _g"),
+            _ind(ind, f"if _f > {p['M']}[0]:"),
+            _ind(ind + 1, f"{p['M']}[0] = _f"),
+        ]
+
+    def _emit_run_charge(self, out, ind, pipe, tvar, n_bytes, count_var):
+        """Inline ``pipe.transfer_run(tvar, n_bytes, count_var)`` likewise."""
+        p = self.pipe_names(pipe)
+        floor = repr(n_bytes / p["bw"])
+        out += [
+            _ind(ind, f"_n2 = {n_bytes} * {count_var}"),
+            _ind(ind, f"_b = int({tvar} / {p['bc']})"),
+            _ind(ind, f"_fp = {p['P']}._full_prefix"),
+            _ind(ind, "if _b < _fp:"),
+            _ind(ind + 1, "_b = _fp"),
+            _ind(ind, f"_o = {p['G']}(_b, 0.0)"),
+            _ind(ind, "_n = _o + _n2"),
+            _ind(ind, f"if _n <= {p['cap']}:"),
+            _ind(ind + 1, f"{p['U']}[_b] = _n"),
+            _ind(ind + 1, f"_f = (_b + _n / {p['cap']}) * {p['bc']}"),
+            _ind(ind + 1, f"if _n >= {p['cap']} and _b == _fp:"),
+            _ind(ind + 2, f"{p['A']}(_b + 1)"),
+            _ind(ind, "else:"),
+            _ind(ind + 1, f"_f = {p['RN']}({tvar}, {n_bytes}, {count_var})"),
+            _ind(ind, f"_g = {tvar} + {floor}"),
+            _ind(ind, "if _f < _g:"),
+            _ind(ind + 1, "_f = _g"),
+            _ind(ind, f"if _f > {p['M']}[0]:"),
+            _ind(ind + 1, f"{p['M']}[0] = _f"),
+        ]
+
+    def _emit_hops(self, out, ind, links, direction, n_bytes, tvar):
+        for link in links:
+            pipe = getattr(link, direction)
+            self._emit_charge(out, ind, pipe, tvar, n_bytes)
+            out.append(_ind(ind, f"{tvar} = _f + {link.latency_cycles!r}"))
+
+    # -- path emission ---------------------------------------------------
+
+    def _emit_home(self, out, ind):
+        if self.interleaved:
+            out.append(_ind(ind, "home = trip[2]"))
+        elif self.page_map_get is not None:
+            g = self.bind("_PMG", self.page_map_get)
+            p = self.bind("_POP", self.partition_of_page)
+            out.append(_ind(ind, f"home = {g}(trip[2])"))
+            out.append(_ind(ind, "if home is None:"))
+            out.append(_ind(ind + 1, f"home = {p}(trip[2], {self.gid})"))
+        else:
+            p = self.bind("_POP", self.partition_of_page)
+            out.append(_ind(ind, f"home = {p}(trip[2], {self.gid})"))
+
+    def _emit_l15_read(self, out, ind, unique, penalized):
+        """L1.5 probe on the read path; miss falls through with ``_t`` set."""
+        l15s = self.bind("_L15S", self.l15._sets)
+        if unique:
+            out.append(_ind(ind, f"{self.cell('15m')} += 1"))
+        else:
+            out += [
+                _ind(ind, f"_cs = {l15s}[{self.l15_set_expr()}]"),
+                _ind(ind, "_d = _cs.pop(line, None)"),
+                _ind(ind, "if _d is not None:"),
+                _ind(ind + 1, f"{self.cell('15h')} += 1"),
+                _ind(ind + 1, "_cs[line] = _d"),
+                _ind(ind + 1, f"done = base_time + {self.l15_hit!r}"),
+                _ind(ind + 1, "if done > mem_done:"),
+                _ind(ind + 2, "mem_done = done"),
+                _ind(ind + 1, "continue"),
+                _ind(ind, f"{self.cell('15m')} += 1"),
+                _ind(ind, f"if len(_cs) >= {self.l15.ways}:"),
+                _ind(ind + 1, "if _cs.pop(next(iter(_cs))):"),
+                _ind(ind + 2, f"{self.cell('15wb')} += 1"),
+                _ind(ind, "_cs[line] = False"),
+            ]
+        if penalized:
+            out.append(_ind(ind, f"_t = base_time + {self.l15_pen!r}"))
+
+    def _emit_l15_store(self, out, ind, unique):
+        if unique:
+            out.append(_ind(ind, f"{self.cell('15byp')} += 1"))
+            return
+        l15s = self.bind("_L15S", self.l15._sets)
+        insert = "True" if self.l15._track_dirty else "_d"
+        out += [
+            _ind(ind, f"_cs = {l15s}[{self.l15_set_expr()}]"),
+            _ind(ind, "_d = _cs.pop(line, None)"),
+            _ind(ind, "if _d is not None:"),
+            _ind(ind + 1, f"{self.cell('15h')} += 1"),
+            _ind(ind + 1, f"{self.cell('15wh')} += 1"),
+            _ind(ind + 1, f"_cs[line] = {insert}"),
+            _ind(ind, "else:"),
+            _ind(ind + 1, f"{self.cell('15byp')} += 1"),
+        ]
+
+    def _emit_local_read(self, out, ind, unique):
+        c = self.cell
+        out.append(_ind(ind, f"{c('lh')} += 1"))
+        if self.caches_local:
+            self._emit_l15_read(out, ind, unique, penalized=False)
+        l2 = self.gpm.l2
+        if l2.n_sets:
+            l2s = self.bind(f"_L2S{self.gid}", l2._sets)
+            out += [
+                _ind(ind, f"_cs = {l2s}[{self.l2_set_expr(self.gid)}]"),
+                _ind(ind, "_d = _cs.pop(line, None)"),
+                _ind(ind, "if _d is not None:"),
+                _ind(ind + 1, f"{c(f'l2h{self.gid}')} += 1"),
+                _ind(ind + 1, "_cs[line] = _d"),
+                _ind(ind + 1, "if local_time > mem_done:"),
+                _ind(ind + 2, "mem_done = local_time"),
+                _ind(ind + 1, "continue"),
+                _ind(ind, f"{c(f'l2m{self.gid}')} += 1"),
+                _ind(ind, f"if len(_cs) >= {l2.ways}:"),
+                _ind(ind + 1, "if _cs.pop(next(iter(_cs))):"),
+                _ind(ind + 2, f"{c(f'l2wb{self.gid}')} += 1"),
+                _ind(ind + 2, f"{c(f'dw{self.gid}')} += 1"),
+                _ind(ind + 2, "local_fills += 1"),
+                _ind(ind, "_cs[line] = False"),
+            ]
+        else:
+            out.append(_ind(ind, f"{c(f'l2m{self.gid}')} += 1"))
+        out.append(_ind(ind, f"{c(f'dr{self.gid}')} += 1"))
+        out.append(_ind(ind, "local_fills += 1"))
+
+    def _emit_remote_read(self, out, ind, home, unique):
+        c = self.cell
+        out.append(_ind(ind, f"{c('rh')} += 1"))
+        out.append(_ind(ind, f"{c('rld')} += 1"))
+        if self.has_l15:
+            self._emit_l15_read(out, ind, unique, penalized=True)
+        else:
+            out.append(_ind(ind, "_t = base_time"))
+        out.append(_ind(ind, f"{c(f'rgr{home}')} += 1"))
+        routes = self.memsys._ring._routes
+        self._emit_hops(out, ind, routes[self.gid][home], "request_pipe",
+                        self.request_bytes, "_t")
+        out.append(_ind(ind, f"_t = _t + {self.gpms[home].l2_hit_latency!r}"))
+        l2 = self.gpms[home].l2
+        dram = self.gpms[home].dram
+        resp = routes[home][self.gid]
+        if l2.n_sets:
+            l2s = self.bind(f"_L2S{home}", l2._sets)
+            out += [
+                _ind(ind, f"_cs = {l2s}[{self.l2_set_expr(home)}]"),
+                _ind(ind, "_d = _cs.pop(line, None)"),
+                _ind(ind, "if _d is not None:"),
+                _ind(ind + 1, f"{c(f'l2h{home}')} += 1"),
+                _ind(ind + 1, "_cs[line] = _d"),
+            ]
+            self._emit_hops(out, ind + 1, resp, "response_pipe",
+                            self.response_bytes, "_t")
+            out += [
+                _ind(ind + 1, "if _t > mem_done:"),
+                _ind(ind + 2, "mem_done = _t"),
+                _ind(ind + 1, "continue"),
+                _ind(ind, f"{c(f'l2m{home}')} += 1"),
+                _ind(ind, "_fl = 1"),
+                _ind(ind, f"if len(_cs) >= {l2.ways}:"),
+                _ind(ind + 1, "if _cs.pop(next(iter(_cs))):"),
+                _ind(ind + 2, f"{c(f'l2wb{home}')} += 1"),
+                _ind(ind + 2, f"{c(f'dw{home}')} += 1"),
+                _ind(ind + 2, "_fl = 2"),
+                _ind(ind, "_cs[line] = False"),
+            ]
+        else:
+            out.append(_ind(ind, f"{c(f'l2m{home}')} += 1"))
+            out.append(_ind(ind, "_fl = 1"))
+        out.append(_ind(ind, f"{c(f'dr{home}')} += 1"))
+        self._emit_run_charge(out, ind, dram.pipe, "_t", dram.line_bytes, "_fl")
+        out.append(_ind(ind, f"_t = _f + {dram.latency_cycles!r}"))
+        self._emit_hops(out, ind, resp, "response_pipe", self.response_bytes, "_t")
+        out.append(_ind(ind, "if _t > mem_done:"))
+        out.append(_ind(ind + 1, "mem_done = _t"))
+
+    def _emit_local_store(self, out, ind, unique):
+        c = self.cell
+        out.append(_ind(ind, f"{c('lh')} += 1"))
+        if self.caches_local:
+            self._emit_l15_store(out, ind, unique)
+        l2 = self.gpm.l2
+        if l2.n_sets:
+            l2s = self.bind(f"_L2S{self.gid}", l2._sets)
+            hit_insert = "True" if l2._track_dirty else "_d"
+            miss_insert = "True" if l2._track_dirty else "False"
+            out += [
+                _ind(ind, f"_cs = {l2s}[{self.l2_set_expr(self.gid)}]"),
+                _ind(ind, "_d = _cs.pop(line, None)"),
+                _ind(ind, "if _d is not None:"),
+                _ind(ind + 1, f"{c(f'l2h{self.gid}')} += 1"),
+                _ind(ind + 1, f"{c(f'l2wh{self.gid}')} += 1"),
+                _ind(ind + 1, f"_cs[line] = {hit_insert}"),
+                _ind(ind + 1, "continue"),
+                _ind(ind, f"{c(f'l2m{self.gid}')} += 1"),
+                _ind(ind, f"{c(f'l2wm{self.gid}')} += 1"),
+                _ind(ind, f"if len(_cs) >= {l2.ways}:"),
+                _ind(ind + 1, "if _cs.pop(next(iter(_cs))):"),
+                _ind(ind + 2, f"{c(f'l2wb{self.gid}')} += 1"),
+                _ind(ind + 2, f"{c(f'dw{self.gid}')} += 1"),
+                _ind(ind + 2, "local_fills += 1"),
+                _ind(ind, f"_cs[line] = {miss_insert}"),
+            ]
+        else:
+            out.append(_ind(ind, f"{c(f'l2m{self.gid}')} += 1"))
+            out.append(_ind(ind, f"{c(f'l2wm{self.gid}')} += 1"))
+        out.append(_ind(ind, f"{c(f'dr{self.gid}')} += 1"))
+        out.append(_ind(ind, "local_fills += 1"))
+
+    def _emit_remote_store(self, out, ind, home, unique):
+        c = self.cell
+        out.append(_ind(ind, f"{c('rh')} += 1"))
+        out.append(_ind(ind, f"{c('rst')} += 1"))
+        if self.has_l15:
+            self._emit_l15_store(out, ind, unique)
+        out.append(_ind(ind, "_t = store_time"))
+        out.append(_ind(ind, f"{c(f'rgs{home}')} += 1"))
+        routes = self.memsys._ring._routes
+        self._emit_hops(out, ind, routes[self.gid][home], "request_pipe",
+                        self.store_bytes, "_t")
+        out.append(_ind(ind, f"_t = _t + {self.gpms[home].l2_hit_latency!r}"))
+        l2 = self.gpms[home].l2
+        dram = self.gpms[home].dram
+        if l2.n_sets:
+            l2s = self.bind(f"_L2S{home}", l2._sets)
+            hit_insert = "True" if l2._track_dirty else "_d"
+            miss_insert = "True" if l2._track_dirty else "False"
+            out += [
+                _ind(ind, f"_cs = {l2s}[{self.l2_set_expr(home)}]"),
+                _ind(ind, "_d = _cs.pop(line, None)"),
+                _ind(ind, "if _d is not None:"),
+                _ind(ind + 1, f"{c(f'l2h{home}')} += 1"),
+                _ind(ind + 1, f"{c(f'l2wh{home}')} += 1"),
+                _ind(ind + 1, f"_cs[line] = {hit_insert}"),
+                _ind(ind + 1, "continue"),
+                _ind(ind, f"{c(f'l2m{home}')} += 1"),
+                _ind(ind, f"{c(f'l2wm{home}')} += 1"),
+                _ind(ind, "_fl = 1"),
+                _ind(ind, f"if len(_cs) >= {l2.ways}:"),
+                _ind(ind + 1, "if _cs.pop(next(iter(_cs))):"),
+                _ind(ind + 2, f"{c(f'l2wb{home}')} += 1"),
+                _ind(ind + 2, f"{c(f'dw{home}')} += 1"),
+                _ind(ind + 2, "_fl = 2"),
+                _ind(ind, f"_cs[line] = {miss_insert}"),
+            ]
+        else:
+            out.append(_ind(ind, f"{c(f'l2m{home}')} += 1"))
+            out.append(_ind(ind, f"{c(f'l2wm{home}')} += 1"))
+            out.append(_ind(ind, "_fl = 1"))
+        out.append(_ind(ind, f"{c(f'dr{home}')} += 1"))
+        self._emit_run_charge(out, ind, dram.pipe, "_t", dram.line_bytes, "_fl")
+
+    # -- walker assembly -------------------------------------------------
+
+    def _emit_dispatch(self, out, ind, emit_local, emit_remote, unique):
+        if self.n == 1:
+            emit_local(out, ind, unique)
+            return
+        self._emit_home(out, ind)
+        out.append(_ind(ind, f"if home == {self.gid}:"))
+        emit_local(out, ind + 1, unique)
+        others = [h for h in range(self.n) if h != self.gid]
+        for i, home in enumerate(others):
+            if i < len(others) - 1:
+                out.append(_ind(ind, f"elif home == {home}:"))
+            else:
+                out.append(_ind(ind, "else:"))
+            emit_remote(out, ind + 1, home, unique)
+
+    def _emit_walk(self, out, name, unique):
+        c = self.cell
+        out.append(_ind(1, f"def {name}(now, reads, writes):"))
+        out.append(_ind(2, "nonlocal c_l1h, c_l1m, c_l1wb, c_l1byp, c_l1wh"))
+        out.append(_ind(2, "mem_done = now"))
+        out.append(_ind(2, "if reads:"))
+        out.append(_ind(3, f"{c('loads')} += len(reads)"))
+        out.append(_ind(3, f"hit_time = now + {self.l1_hit!r}"))
+        miss_ind = 3
+        iterable = "misses"
+        if not self.l1_n_sets or unique:
+            out.append(_ind(3, "c_l1m += len(reads)"))
+            iterable = "reads"
+        else:
+            out += [
+                _ind(3, "misses = None"),
+                _ind(3, "for trip in reads:"),
+                _ind(4, "line = trip[0]"),
+                _ind(4, "_cs = l1_sets[trip[1]]"),
+                _ind(4, "_d = _cs.pop(line, None)"),
+                _ind(4, "if _d is not None:"),
+                _ind(5, "c_l1h += 1"),
+                _ind(5, "_cs[line] = _d"),
+                _ind(5, "continue"),
+                _ind(4, "c_l1m += 1"),
+                _ind(4, f"if len(_cs) >= {self.l1_ways}:"),
+                _ind(5, "if _cs.pop(next(iter(_cs))):"),
+                _ind(6, "c_l1wb += 1"),
+                _ind(4, "_cs[line] = False"),
+                _ind(4, "if misses is None:"),
+                _ind(5, "misses = [trip]"),
+                _ind(4, "else:"),
+                _ind(5, "misses.append(trip)"),
+                _ind(3, "if misses is None:"),
+                _ind(4, "mem_done = hit_time"),
+                _ind(3, "else:"),
+            ]
+            miss_ind = 4
+        out.append(_ind(miss_ind, f"base_time = hit_time + {self.xbar_lat!r}"))
+        out.append(_ind(miss_ind, f"local_time = base_time + {self.local_extra!r}"))
+        out.append(_ind(miss_ind, "local_fills = 0"))
+        out.append(_ind(miss_ind, f"for trip in {iterable}:"))
+        body = miss_ind + 1
+        out.append(_ind(body, "line = trip[0]"))
+        self._emit_dispatch(out, body, self._emit_local_read,
+                            self._emit_remote_read, unique)
+        out.append(_ind(miss_ind, "if local_fills:"))
+        own = self.own_dram
+        self._emit_run_charge(out, miss_ind + 1, own.pipe, "local_time",
+                              own.line_bytes, "local_fills")
+        out += [
+            _ind(miss_ind + 1, f"done = _f + {own.latency_cycles!r}"),
+            _ind(miss_ind + 1, "if done > mem_done:"),
+            _ind(miss_ind + 2, "mem_done = done"),
+        ]
+
+        out.append(_ind(2, "if writes:"))
+        out.append(_ind(3, f"{c('stores')} += len(writes)"))
+        out.append(_ind(3, f"store_time = now + {self.xbar_lat!r}"))
+        out.append(_ind(3, f"local_write_time = store_time + {self.own_l2_hit!r}"))
+        out.append(_ind(3, "local_fills = 0"))
+        if not self.l1_n_sets or unique:
+            out.append(_ind(3, "c_l1byp += len(writes)"))
+        out.append(_ind(3, "for trip in writes:"))
+        out.append(_ind(4, "line = trip[0]"))
+        if self.l1_n_sets and not unique:
+            l1_insert = "True" if self.l1_track else "_d"
+            out += [
+                _ind(4, "_cs = l1_sets[trip[1]]"),
+                _ind(4, "_d = _cs.pop(line, None)"),
+                _ind(4, "if _d is not None:"),
+                _ind(5, "c_l1h += 1"),
+                _ind(5, "c_l1wh += 1"),
+                _ind(5, f"_cs[line] = {l1_insert}"),
+                _ind(4, "else:"),
+                _ind(5, "c_l1byp += 1"),
+            ]
+        self._emit_dispatch(out, 4, self._emit_local_store,
+                            self._emit_remote_store, unique)
+        out.append(_ind(3, "if local_fills:"))
+        self._emit_run_charge(out, 4, own.pipe, "local_write_time",
+                              own.line_bytes, "local_fills")
+        out.append(_ind(2, "return mem_done"))
+
+    def build(self):
+        """Compile the factory; returns ``(factory, ctx_tuple, gc_list)``."""
+        self.bind("_GC", self.gc)
+        body: List[str] = []
+        self._emit_walk(body, "walk", unique=False)
+        self._emit_walk(body, "walk_u", unique=True)
+
+        lines = [
+            "def _factory(sm, ctx):",
+            _ind(1, "(" + ", ".join(self.ctx_names) + ",) = ctx"),
+            _ind(1, "l1_sets = sm.l1._sets"),
+            _ind(1, "l1_stats = sm.l1.stats"),
+            _ind(1, "c_l1h = 0"),
+            _ind(1, "c_l1m = 0"),
+            _ind(1, "c_l1wb = 0"),
+            _ind(1, "c_l1byp = 0"),
+            _ind(1, "c_l1wh = 0"),
+        ]
+        lines += body
+        lines += [
+            _ind(1, "def flush():"),
+            _ind(2, "nonlocal c_l1h, c_l1m, c_l1wb, c_l1byp, c_l1wh"),
+            _ind(2, "if c_l1h or c_l1m or c_l1byp:"),
+            _ind(3, "st = l1_stats"),
+            _ind(3, "st.hits += c_l1h"),
+            _ind(3, "st.misses += c_l1m"),
+            _ind(3, "st.writebacks += c_l1wb"),
+            _ind(3, "st.bypasses += c_l1byp"),
+            _ind(3, "st.write_hits += c_l1wh"),
+            _ind(3, "c_l1h = 0"),
+            _ind(3, "c_l1m = 0"),
+            _ind(3, "c_l1wb = 0"),
+            _ind(3, "c_l1byp = 0"),
+            _ind(3, "c_l1wh = 0"),
+            _ind(1, "return walk, walk_u, flush"),
+        ]
+        source = "\n".join(lines)
+        code = _CODE_CACHE.get(source)
+        if code is None:
+            code = compile(source, f"<walker-gpm{self.gid}>", "exec")
+            _CODE_CACHE[source] = code
+        namespace: dict = {}
+        exec(code, namespace)
+        self.gc.extend([0] * len(self.counters))
+        return namespace["_factory"], tuple(self.ctx_values), self.gc
+
+
+def _make_gpm_fold(memsys, gpm_id, gc, idx, line_bytes, header_bytes):
+    """Once-per-kernel fold of one GPM's shared tallies into real stats.
+
+    Pipe byte/transfer totals are derived here: request messages are
+    ``header_bytes``, responses and stores carry a line plus the header,
+    and every DRAM charge is one line.
+    """
+    gpms = memsys._gpms
+    gpm = gpms[gpm_id]
+    page_table = memsys._page_table
+    xbar = gpm.xbar
+    l15 = gpm.l15
+    routes = memsys._ring._routes
+    response_bytes = line_bytes + header_bytes
+
+    # Resolve every counter index once; cells a GPM's walkers never emit
+    # (e.g. remote tallies on a single-partition system) read a shared
+    # always-zero slot so the fold body stays branch-free.
+    zero = len(gc)  # one extra slot appended below, never incremented
+    gc.append(0)
+
+    def at(name):
+        return idx.get(name, zero)
+
+    i_loads, i_stores = idx["loads"], idx["stores"]
+    i_rld, i_rst = at("rld"), at("rst")
+    i_lh, i_rh = at("lh"), at("rh")
+    i_15 = (at("15h"), at("15m"), at("15wb"), at("15wh"), at("15byp"))
+    per_home = []
+    for home in range(len(gpms)):
+        target = gpms[home]
+        links = None
+        if home != gpm_id:
+            links = (tuple(routes[gpm_id][home]), tuple(routes[home][gpm_id]))
+        per_home.append(
+            (
+                target.l2.stats,
+                (at(f"l2h{home}"), at(f"l2m{home}"), at(f"l2wb{home}"),
+                 at(f"l2wh{home}"), at(f"l2wm{home}")),
+                target.dram,
+                at(f"dr{home}"),
+                at(f"dw{home}"),
+                at(f"rgr{home}"),
+                at(f"rgs{home}"),
+                links,
+            )
+        )
+
+    def fold():
+        if not (gc[i_loads] or gc[i_stores]):
+            return
+        memsys.loads += gc[i_loads]
+        memsys.stores += gc[i_stores]
+        memsys.remote_loads += gc[i_rld]
+        memsys.remote_stores += gc[i_rst]
+        local_homes = gc[i_lh]
+        remote_homes = gc[i_rh]
+        page_table.local_resolutions += local_homes
+        page_table.remote_resolutions += remote_homes
+        xbar.local_requests += local_homes
+        xbar.remote_requests += remote_homes
+        if l15 is not None:
+            stats = l15.stats
+            stats.hits += gc[i_15[0]]
+            stats.misses += gc[i_15[1]]
+            stats.writebacks += gc[i_15[2]]
+            stats.write_hits += gc[i_15[3]]
+            stats.bypasses += gc[i_15[4]]
+        for l2_stats, l2i, dram, i_dr, i_dw, i_rgr, i_rgs, links in per_home:
+            l2_stats.hits += gc[l2i[0]]
+            l2_stats.misses += gc[l2i[1]]
+            l2_stats.writebacks += gc[l2i[2]]
+            l2_stats.write_hits += gc[l2i[3]]
+            l2_stats.write_misses += gc[l2i[4]]
+            reads = gc[i_dr]
+            writes = gc[i_dw]
+            dram.reads += reads
+            dram.writes += writes
+            pipe = dram.pipe
+            charges = reads + writes
+            pipe.transfers += charges
+            pipe.bytes_transferred += dram.line_bytes * charges
+            if links is not None:
+                ring_reads = gc[i_rgr]
+                ring_stores = gc[i_rgs]
+                if ring_reads or ring_stores:
+                    for link in links[0]:
+                        pipe = link.request_pipe
+                        pipe.transfers += ring_reads + ring_stores
+                        pipe.bytes_transferred += (
+                            header_bytes * ring_reads + response_bytes * ring_stores
+                        )
+                    for link in links[1]:
+                        pipe = link.response_pipe
+                        pipe.transfers += ring_reads
+                        pipe.bytes_transferred += response_bytes * ring_reads
+        for i in range(len(gc)):
+            gc[i] = 0
+
+    return fold
+
+
+def _make_pipe_fold(pipe_cells):
+    """Once-per-kernel fold of the shared ``busy_until`` max-cells."""
+    cells = tuple(pipe_cells.values())
+
+    def fold():
+        for pipe, cell in cells:
+            latest = cell[0]
+            if latest:
+                if latest > pipe.busy_until:
+                    pipe.busy_until = latest
+                cell[0] = 0.0
+
+    return fold
+
+
+def build_walkers(memsys):
+    """Generate ``(walk, walk_u)`` pairs for every SM of ``memsys``.
+
+    Registers the deferred-counter folds on ``memsys._walker_flushes`` (the
+    engine runs them at the end of every kernel drain).  Raises
+    :class:`UnsupportedWalk` for system shapes the generator cannot
+    specialize; the caller falls back to the generic fused walker.
+    """
+    from .memsys import LINE_BYTES, REQUEST_HEADER_BYTES
+
+    gpms = memsys._gpms
+    n = len(gpms)
+    routes = memsys._ring._routes
+    if n > 1 and not routes:
+        raise UnsupportedWalk("multi-partition system without precomputed routes")
+
+    l2_counts = {gpm.l2.n_sets for gpm in gpms}
+    uniform_l2 = l2_counts.pop() if len(l2_counts) == 1 else 0
+    l15_counts = {gpm.l15.n_sets if gpm.has_l15 else 0 for gpm in gpms}
+    uniform_l15 = l15_counts.pop() if len(l15_counts) == 1 else 0
+
+    pipe_cells: dict = {}
+    walkers = []
+    flushes = memsys._walker_flushes
+    for gpm in gpms:
+        generator = _GpmCodegen(
+            memsys, gpm.gpm_id, pipe_cells, uniform_l2, uniform_l15,
+            LINE_BYTES, REQUEST_HEADER_BYTES,
+        )
+        factory, ctx, gc = generator.build()
+        for sm in gpm.sms:
+            walk, walk_u, l1_flush = factory(sm, ctx)
+            walkers.append((walk, walk_u))
+            flushes.append(l1_flush)
+        flushes.append(
+            _make_gpm_fold(memsys, gpm.gpm_id, gc, generator.counters,
+                           LINE_BYTES, REQUEST_HEADER_BYTES)
+        )
+    flushes.append(_make_pipe_fold(pipe_cells))
+    return walkers

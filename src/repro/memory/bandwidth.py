@@ -20,6 +20,8 @@ queuing-under-contention are preserved at bucket granularity.
 
 from __future__ import annotations
 
+from fractions import Fraction
+
 #: Default bucket width in cycles.  Small enough to resolve per-wave
 #: queuing (DRAM service of one line is ~0.17 cycles; a kernel wave spans
 #: thousands), large enough that bucket dictionaries stay compact.
@@ -116,8 +118,14 @@ class BandwidthPipe:
                             self._advance_full_prefix(bucket + 1)
                         break
                 if occupied >= capacity and bucket == self._full_prefix:
-                    self._full_prefix = bucket + 1
+                    # Route through _advance_full_prefix so the prefix also
+                    # skips any contiguous run of buckets already filled by
+                    # out-of-order charges; a bare ``bucket + 1`` here left
+                    # backlogged pipes rescanning that run on every transfer.
+                    self._advance_full_prefix(bucket + 1)
                 bucket += 1
+                if bucket < self._full_prefix:
+                    bucket = self._full_prefix
                 occupied = used.get(bucket, 0.0)
 
         floor = now + n_bytes / self.bytes_per_cycle
@@ -126,6 +134,120 @@ class BandwidthPipe:
         if finish > self.busy_until:
             self.busy_until = finish
         return finish
+
+    def transfer_run(self, now: float, n_bytes: int, count: int) -> float:
+        """Reserve ``count`` back-to-back transfers of ``n_bytes`` each.
+
+        Bit-identical to ``count`` sequential :meth:`transfer` calls at the
+        same ``now`` — the greedy bucket fill is associative, every charge
+        shares the same bandwidth floor, and per-charge finish times are
+        monotone in charge order — so only the *last* finish (the value a
+        caller charging a run actually consumes) needs computing.  Returns
+        that last finish time.  The array-backed memory walker uses this to
+        collapse a record's DRAM line charges into one reservation.
+        """
+        if now < 0:
+            raise ValueError(f"transfer time must be non-negative, got {now}")
+        total = n_bytes * count
+        self.bytes_transferred += total
+        self.transfers += count
+
+        used = self._used
+        capacity = self.bucket_capacity
+        bucket_cycles = self.bucket_cycles
+        full_prefix = self._full_prefix
+        bucket = int(now / bucket_cycles)
+        if bucket < full_prefix:
+            bucket = full_prefix
+
+        occupied = used.get(bucket, 0.0)
+        new_occupancy = occupied + total
+        if new_occupancy <= capacity:
+            used[bucket] = new_occupancy
+            finish = (bucket + new_occupancy / capacity) * bucket_cycles
+            if new_occupancy >= capacity and bucket == full_prefix:
+                self._advance_full_prefix(bucket + 1)
+        else:
+            remaining = float(total)
+            while True:
+                free = capacity - occupied
+                if free > 0.0:
+                    take = remaining if remaining < free else free
+                    occupied += take
+                    used[bucket] = occupied
+                    remaining -= take
+                    if remaining <= 0.0:
+                        finish = (bucket + occupied / capacity) * bucket_cycles
+                        if occupied >= capacity and bucket == self._full_prefix:
+                            self._advance_full_prefix(bucket + 1)
+                        break
+                if occupied >= capacity and bucket == self._full_prefix:
+                    self._advance_full_prefix(bucket + 1)
+                bucket += 1
+                if bucket < self._full_prefix:
+                    bucket = self._full_prefix
+                occupied = used.get(bucket, 0.0)
+
+        # The floor of the *last* charge in the run: it starts at ``now``
+        # like the others and moves n_bytes at full bandwidth.
+        floor = now + n_bytes / self.bytes_per_cycle
+        if finish < floor:
+            finish = floor
+        if finish > self.busy_until:
+            self.busy_until = finish
+        return finish
+
+    def reserve(self, now: float, n_bytes: int) -> float:
+        """Bucket walk of :meth:`transfer` without the bookkeeping.
+
+        Reserves capacity exactly like :meth:`transfer` but leaves the
+        byte/transfer counters and ``busy_until`` untouched and does *not*
+        apply the bandwidth floor — the generated memory walkers charge
+        pipes inline, derive the counters per kernel from their own tallies,
+        and apply the floor themselves.  Internal fast-path API: callers
+        outside the walker codegen should use :meth:`transfer`.
+        """
+        if now < 0:
+            raise ValueError(f"transfer time must be non-negative, got {now}")
+        used = self._used
+        capacity = self.bucket_capacity
+        bucket_cycles = self.bucket_cycles
+        full_prefix = self._full_prefix
+        bucket = int(now / bucket_cycles)
+        if bucket < full_prefix:
+            bucket = full_prefix
+
+        occupied = used.get(bucket, 0.0)
+        new_occupancy = occupied + n_bytes
+        if new_occupancy <= capacity:
+            used[bucket] = new_occupancy
+            finish = (bucket + new_occupancy / capacity) * bucket_cycles
+            if new_occupancy >= capacity and bucket == full_prefix:
+                self._advance_full_prefix(bucket + 1)
+            return finish
+        remaining = float(n_bytes)
+        while True:
+            free = capacity - occupied
+            if free > 0.0:
+                take = remaining if remaining < free else free
+                occupied += take
+                used[bucket] = occupied
+                remaining -= take
+                if remaining <= 0.0:
+                    finish = (bucket + occupied / capacity) * bucket_cycles
+                    if occupied >= capacity and bucket == self._full_prefix:
+                        self._advance_full_prefix(bucket + 1)
+                    return finish
+            if occupied >= capacity and bucket == self._full_prefix:
+                self._advance_full_prefix(bucket + 1)
+            bucket += 1
+            if bucket < self._full_prefix:
+                bucket = self._full_prefix
+            occupied = used.get(bucket, 0.0)
+
+    def reserve_run(self, now: float, n_bytes: int, count: int) -> float:
+        """Counter-free flavor of :meth:`transfer_run` (see :meth:`reserve`)."""
+        return self.reserve(now, n_bytes * count)
 
     def _advance_full_prefix(self, start: int) -> None:
         """Move ``_full_prefix`` to ``start``, then past any contiguous run
@@ -157,10 +279,17 @@ class BandwidthPipe:
             raise ValueError(f"window_cycles must be positive, got {window_cycles}")
         if not self._used:
             return []
-        buckets_per_window = window_cycles / self.bucket_cycles
+        # A bucket belongs to the window containing its *start cycle*:
+        # window = floor(bucket * bucket_cycles / window_cycles).  Computed
+        # with Fraction-exact integer math — the old float division
+        # ``int(bucket / (window_cycles / bucket_cycles))`` misassigned
+        # boundary buckets whenever the cycle widths had no exact float
+        # ratio (e.g. bucket_cycles=0.7, window_cycles=2.1).
+        ratio = Fraction(self.bucket_cycles) / Fraction(window_cycles)
+        numerator, denominator = ratio.numerator, ratio.denominator
         windows: dict = {}
         for bucket, occupied in self._used.items():
-            window = int(bucket / buckets_per_window)
+            window = bucket * numerator // denominator
             windows[window] = windows.get(window, 0.0) + occupied
         return [
             (window * window_cycles, occupied)

@@ -216,6 +216,13 @@ class SetAssocCache:
         """
         stats = self.stats
         if not self._sets:
+            if not allocate:
+                # A disabled level holds nothing, so a no-allocate probe is
+                # a bypass exactly as it is on an enabled level (and as
+                # ``touch_store`` already counts it): the request forwards
+                # downstream without touching the lookup-path counters.
+                stats.bypasses += 1
+                return MISS
             stats.misses += 1
             if is_write:
                 stats.write_misses += 1
@@ -294,6 +301,14 @@ class SetAssocCache:
         """
         if not self._sets:
             return []
+        if not self._track_dirty:
+            # Write-through caches never hold dirty lines; skip the
+            # per-line dirty scan (kernel-boundary flushes of every L1 are
+            # on the hot path of multi-kernel simulations).
+            for cache_set in self._sets:
+                cache_set.clear()
+            self.stats.flushes += 1
+            return []
         dirty_lines: List[int] = []
         for cache_set in self._sets:
             dirty_lines.extend(addr for addr, dirty in cache_set.items() if dirty)
@@ -305,11 +320,19 @@ class SetAssocCache:
     def reset_stats(self) -> None:
         """Zero all counters without touching cache contents.
 
-        The proper way to start a fresh measurement window or simulation:
-        replaces the ad-hoc ``stats.__init__()`` calls previously scattered
-        through reset paths.
+        Zeroes the existing ``CacheStats`` object in place rather than
+        replacing it: the array-backed fast path builds per-SM walkers
+        that bind stats objects once per system, and those bindings must
+        survive ``reset()`` between runs.
         """
-        self.stats = CacheStats()
+        stats = self.stats
+        stats.hits = 0
+        stats.misses = 0
+        stats.writebacks = 0
+        stats.flushes = 0
+        stats.bypasses = 0
+        stats.write_hits = 0
+        stats.write_misses = 0
 
     def resident_lines(self) -> int:
         """Number of valid lines currently held."""

@@ -20,6 +20,8 @@ from heapq import heappop, heappush
 from math import inf
 from typing import List, Optional
 
+import numpy as np
+
 from ..core.gpu import GPUSystem
 from ..memory.cache import CacheStats
 from ..sched.distributed import make_scheduler
@@ -49,14 +51,100 @@ class _CTA:
 
 
 class _WarpGroup:
-    """One schedulable warp group walking its record list."""
+    """One schedulable warp group walking its record list.
 
-    __slots__ = ("cta", "records", "position")
+    ``walk`` is the SM's fused memory walker when the array-backed fast
+    path is active (records are then geometry-specialized 4-tuples), or
+    ``None`` when the group carries classic :class:`TraceRecord` lists.
+    """
 
-    def __init__(self, cta: _CTA, records) -> None:
+    __slots__ = ("cta", "records", "position", "walk")
+
+    def __init__(self, cta: _CTA, records, walk=None) -> None:
         self.cta = cta
         self.records = records
         self.position = 0
+        self.walk = walk
+
+
+def _pack_plain_trace(trace, geometry):
+    """Specialize a hand-built ``CTATrace`` for one :class:`WalkGeometry`.
+
+    Synthetic workloads produce :class:`ColumnarCTATrace` objects that
+    derive (and cache) their fast records from numpy columns; plain
+    record-list traces (tests, ad-hoc workloads) are small enough to pack
+    per launch with scalar arithmetic instead.
+    """
+    throughput = geometry.issue_throughput
+    packed = geometry.packed
+    n_l1_sets = geometry.n_l1_sets
+    line_interleaved = geometry.line_interleaved
+    n_partitions = geometry.n_partitions
+    lines_per_page = geometry.lines_per_page
+    n_l2_sets = geometry.n_l2_sets
+    n_l15_sets = geometry.n_l15_sets
+
+    def triples(lines):
+        return tuple(
+            (
+                line,
+                line % n_l1_sets if n_l1_sets else 0,
+                line % n_partitions if line_interleaved else line // lines_per_page,
+                line % n_l2_sets if n_l2_sets else 0,
+                line % n_l15_sets if n_l15_sets else 0,
+            )
+            for line in lines
+        )
+
+    groups = []
+    for records in trace:
+        out = []
+        for record in records:
+            compute_cycles = record.compute_cycles
+            reads = record.reads
+            writes = record.writes
+            busy = (compute_cycles + len(reads) + len(writes)) / throughput
+            if packed:
+                out.append((compute_cycles, busy, triples(reads), triples(writes)))
+            else:
+                out.append((compute_cycles, busy, reads, writes))
+        groups.append(out)
+    return groups
+
+
+def _kernel_addrs_unique(kernel: KernelLaunch) -> bool:
+    """True when no line address repeats anywhere in the kernel's traces.
+
+    Such a kernel cannot hit in the write-through levels that are flushed
+    at its boundaries (L1, L1.5) — a hit needs a second access to a line —
+    so the walkers' ``walk_u`` flavor may skip those levels' dict work
+    outright.  Only columnar traces are probed (their address columns make
+    the check a few array ops); the verdict is memoized on the first CTA's
+    trace, which the per-workload trace memo keeps alive across runs.
+    """
+    trace_fn = kernel.trace_fn
+    trace0 = trace_fn(0)
+    addrs0 = getattr(trace0, "addrs", None)
+    if addrs0 is None:
+        return False
+    cached = trace0._unique_key
+    if cached is not None and cached[0] == kernel.n_ctas:
+        return cached[1]
+    arrays = [addrs0.reshape(-1)]
+    total = addrs0.size
+    unique = True
+    for cta in range(1, kernel.n_ctas):
+        addrs = getattr(trace_fn(cta), "addrs", None)
+        if addrs is None:
+            unique = False
+            break
+        arrays.append(addrs.reshape(-1))
+        total += addrs.size
+    if unique:
+        flat = np.concatenate(arrays) if len(arrays) > 1 else arrays[0]
+        unique = int(np.unique(flat).size) == total
+    trace0._unique_key = (kernel.n_ctas, unique)
+    return unique
 
 
 class SimulationEngine:
@@ -78,6 +166,16 @@ class SimulationEngine:
         #: per-line path.  Both produce bit-identical results; the flag
         #: exists so the identity suite can diff them.
         self.batched = not _perline_requested()
+        # Array-backed fast-path state: the geometry traces are
+        # specialized against and the per-SM fused walkers (None outside
+        # the fast path / for migrating placement).  ``_fast_cache``
+        # holds the one-time (walkers, geometry) build for this system.
+        self._geometry = None
+        self._walkers = None
+        self._fast_cache = None
+        # True while the current kernel's addresses are globally unique
+        # (selects the walkers' L1/L1.5-skipping flavor).
+        self._kernel_unique = False
 
     # ------------------------------------------------------------------
 
@@ -96,6 +194,25 @@ class SimulationEngine:
         self._next_sample = (
             inf if telemetry is None else telemetry.begin_run(self.system, workload.name)
         )
+
+        # Array-backed fast path: fused per-SM walkers over geometry-
+        # specialized records.  Built once per engine and reused across
+        # runs — every object a walker binds (cache sets, stats, pipes,
+        # page maps, routes) is reset in place by ``system.reset()``.
+        # Migrating placement keeps the batch path (walkers None), and
+        # the general loop (telemetry, per-line reference) keeps classic
+        # TraceRecord lists.
+        if telemetry is None and self.batched:
+            cached = self._fast_cache
+            if cached is None:
+                memsys = self.system.memsys
+                walkers = memsys.make_walkers()
+                cached = (walkers, memsys.walk_geometry(packed=walkers is not None))
+                self._fast_cache = cached
+            self._walkers, self._geometry = cached
+        else:
+            self._walkers = None
+            self._geometry = None
 
         # Live invariant checking is opt-in and read-only: with no validator
         # attached the loop pays one `is not None` test per kernel, and an
@@ -126,6 +243,9 @@ class SimulationEngine:
     def _run_kernel(self, kernel: KernelLaunch, start_time: float) -> float:
         scheduler = self.scheduler
         scheduler.start_kernel(kernel.n_ctas)
+        self._kernel_unique = (
+            self._walkers is not None and _kernel_addrs_unique(kernel)
+        )
         heap: List = []
         self._seq = 0
         telemetry = self._telemetry
@@ -263,17 +383,25 @@ class SimulationEngine:
             issue_start = clock if clock > ready else ready
             position = group.position
             records = group.records
-            compute_cycles, reads, writes = records[position]
+            # Fast records carry the issue busy time pre-divided (same
+            # left-to-right arithmetic as SM.charge_issue) alongside the
+            # geometry-specialized read/write lists.
+            compute_cycles, busy, reads, writes = records[position]
             position += 1
             group.position = position
-            # Inlined SM.charge_issue (same arithmetic, no call).
-            busy = (compute_cycles + len(reads) + len(writes)) / sm.issue_throughput
             sm.clock = issue_start + busy
             sm.issue_busy_cycles += busy
 
-            mem_done = load_batch(issue_start, sm, reads) if reads else issue_start
-            if writes:
-                store_batch(issue_start, sm, writes)
+            walk = group.walk
+            if walk is not None:
+                if reads or writes:
+                    mem_done = walk(issue_start, reads, writes)
+                else:
+                    mem_done = issue_start
+            else:
+                mem_done = load_batch(issue_start, sm, reads) if reads else issue_start
+                if writes:
+                    store_batch(issue_start, sm, writes)
 
             finish = issue_start + compute_cycles
             if mem_done > finish:
@@ -299,6 +427,10 @@ class SimulationEngine:
                     seq = self._seq
         self._seq = seq
         self.records_executed += records_executed
+        # Fold the walkers' deferred counters into the real stats objects
+        # before anything at the kernel boundary (live validation, cache
+        # flush telemetry, result collection) reads them.
+        memsys.flush_walk_counters()
         return kernel_end
 
     def _launch(self, heap: List, kernel: KernelLaunch, cta_index: int, sm, at: float) -> None:
@@ -313,14 +445,32 @@ class SimulationEngine:
                     f"kernel {kernel.label!r}: trace_fn returned {len(trace)} groups, "
                     f"expected {kernel.groups_per_cta}"
                 )
+            # Pick the record representation for the active drain loop:
+            # geometry-specialized fast records (derived and cached by
+            # columnar traces, packed per launch for plain lists) or the
+            # classic TraceRecord view.
+            geometry = self._geometry
+            walk = None
+            if geometry is not None:
+                fast_groups = getattr(trace, "fast_groups", None)
+                if fast_groups is not None:
+                    groups = fast_groups(geometry)
+                else:
+                    groups = _pack_plain_trace(trace, geometry)
+                walkers = self._walkers
+                if walkers is not None:
+                    walk = walkers[sm.sm_id][1 if self._kernel_unique else 0]
+            else:
+                base_groups = getattr(trace, "base_groups", None)
+                groups = base_groups() if base_groups is not None else trace
             sm.occupy_slot()
             cta = _CTA(cta_index, len(trace), sm)
-            for records in trace:
+            for records in groups:
                 if not records:
                     cta.groups_left -= 1
                     continue
                 self._seq += 1
-                heappush(heap, (at, self._seq, _WarpGroup(cta, records)))
+                heappush(heap, (at, self._seq, _WarpGroup(cta, records, walk)))
             if cta.groups_left > 0:
                 return
             # Degenerate empty CTA: retire immediately and refill the slot.

@@ -55,6 +55,19 @@ class AccessPattern(ABC):
         return f"{type(self).__name__}({inner})"
 
 
+def line_array(addrs) -> np.ndarray:
+    """Normalize a generator's output to a contiguous int64 column.
+
+    Every built-in pattern already emits int64 arrays; this is the
+    boundary contract for the columnar trace core — third-party patterns
+    may return lists or narrower dtypes, and the downstream vectorized
+    set-index/homing arithmetic (``ColumnarCTATrace.fast_groups``) assumes
+    a flat int64 ndarray.  No copy is made when the input already
+    conforms.
+    """
+    return np.ascontiguousarray(addrs, dtype=np.int64).reshape(-1)
+
+
 def _chunk_bounds(cta_index: int, n_ctas: int, footprint_lines: int) -> range:
     """Contiguous slice of the footprint owned by ``cta_index``.
 

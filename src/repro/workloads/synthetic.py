@@ -15,15 +15,13 @@ from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Iterator, Optional
 
-from .patterns import AccessPattern, make_pattern
+from .patterns import AccessPattern, line_array, make_pattern
 from .rng import rng_for
 from .trace import (
-    CTATrace,
+    ColumnarCTATrace,
     KernelLaunch,
     TraceMemo,
-    TraceRecord,
     Workload,
-    records_from_arrays,
     write_period_from_fraction,
 )
 
@@ -160,31 +158,31 @@ class SyntheticWorkload(Workload):
         # launch shares the seed-0 materialization).
         seed_kernel = kernel_index if pattern.kernel_variant else 0
 
-        def build_trace(cta_index: int) -> CTATrace:
+        def build_trace(cta_index: int) -> ColumnarCTATrace:
             records_per_group = spec.records_for_cta(cta_index)
             per_group_accesses = records_per_group * spec.accesses_per_record
             total_accesses = per_group_accesses * spec.groups_per_cta
             rng = rng_for(spec.name, spec.seed, seed_kernel, cta_index)
-            lines = pattern.generate(
-                cta_index,
-                spec.n_ctas,
-                total_accesses,
-                spec.footprint_lines,
-                rng,
-            )
-            trace: CTATrace = []
-            for group in range(spec.groups_per_cta):
-                start = group * per_group_accesses
-                group_lines = lines[start : start + per_group_accesses]
-                trace.append(
-                    records_from_arrays(
-                        group_lines,
-                        write_period,
-                        spec.accesses_per_record,
-                        spec.compute_per_record,
-                    )
+            lines = line_array(
+                pattern.generate(
+                    cta_index,
+                    spec.n_ctas,
+                    total_accesses,
+                    spec.footprint_lines,
+                    rng,
                 )
-            return trace
+            )
+            # Keep the generator's vectorization: the whole CTA stream
+            # stays one numpy column block; per-record views (classic
+            # TraceRecords or geometry-specialized fast records) are
+            # derived lazily by the trace itself.
+            return ColumnarCTATrace.from_flat(
+                lines,
+                spec.groups_per_cta,
+                write_period,
+                spec.accesses_per_record,
+                spec.compute_per_record,
+            )
 
         return self._trace_memo.wrap(seed_kernel, build_trace)
 

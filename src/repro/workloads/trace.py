@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterator, List, NamedTuple, Sequence, Tuple
 
+import numpy as np
+
 
 class TraceRecord(NamedTuple):
     """One step of a warp group: a burst of compute then a memory batch.
@@ -32,8 +34,269 @@ class TraceRecord(NamedTuple):
         return len(self.reads) + len(self.writes)
 
 
-#: The full trace of one CTA: one record list per warp group.
+#: The full trace of one CTA: one record list per warp group.  The engine
+#: also accepts a :class:`ColumnarCTATrace`, which carries the same records
+#: as numpy columns and materializes either view on demand.
 CTATrace = List[List[TraceRecord]]
+
+
+class WalkGeometry(NamedTuple):
+    """The memory-system shape a columnar trace is specialized against.
+
+    The array-backed fast path precomputes, per line, every piece of
+    arithmetic that depends only on the address and the (immutable) system
+    geometry: the L1 set index (``line % n_l1_sets``), the homing key
+    (``line % n_partitions`` for fine-grain interleaving, ``line //
+    lines_per_page`` for paged policies), and — when the respective level
+    has the same set count in every GPM — the L2 and L1.5 set indices.
+    ``n_l2_sets``/``n_l15_sets`` are 0 when the level is absent, disabled,
+    or non-uniform across GPMs; walkers then derive the index themselves.
+    ``issue_throughput`` folds the per-record issue busy time into the same
+    derivation.  ``packed`` is False for the fallback flavor (migrating
+    placement policies) whose records keep plain address tuples for
+    ``load_batch``/``store_batch``.
+    """
+
+    packed: bool
+    n_l1_sets: int
+    line_interleaved: bool
+    n_partitions: int
+    lines_per_page: int
+    issue_throughput: float
+    n_l2_sets: int = 0
+    n_l15_sets: int = 0
+
+
+class ColumnarCTATrace:
+    """One CTA's trace as numpy columns plus record/group geometry.
+
+    The generators in :mod:`repro.workloads.patterns` already produce flat
+    int64 address arrays; this class keeps that vectorization instead of
+    immediately exploding it into per-record Python tuples.  Three views
+    are materialized on demand:
+
+    * ``addrs`` / ``is_write`` — the columns themselves (addresses are a
+      ``(n_groups, accesses_per_group)`` int64 array, reads-before-writes
+      within each record; ``is_write`` marks the store positions and is
+      shared by all groups, whose record structure is identical).
+    * :meth:`base_groups` — classic ``List[List[TraceRecord]]`` records
+      for the reference per-line path and any external consumer (cached).
+    * :meth:`fast_groups` — records specialized for one
+      :class:`WalkGeometry`: ``(compute_cycles, issue_busy, reads,
+      writes)`` tuples whose read/write entries are ``(line, l1_set,
+      home_key, l2_set, l15_set)`` quintuples derived with whole-column
+      array ops.  Cached per geometry (benchmark harnesses interleave
+      several configurations over the same memoized traces, so a one-slot
+      cache would thrash and repack on every config switch).
+    """
+
+    __slots__ = (
+        "addrs",
+        "is_write",
+        "compute_cycles",
+        "n_groups",
+        "_spans",
+        "_base",
+        "_fast",
+        "_unique_key",
+    )
+
+    def __init__(
+        self,
+        addrs: "np.ndarray",
+        is_write: "np.ndarray",
+        spans: List[Tuple[int, int, int]],
+        compute_cycles: float,
+    ) -> None:
+        self.addrs = addrs
+        self.is_write = is_write
+        self.compute_cycles = compute_cycles
+        self.n_groups = addrs.shape[0]
+        #: Per-record ``(start, reads_end, end)`` column spans (identical
+        #: for every group of this CTA).
+        self._spans = spans
+        self._base: list = None
+        self._fast: dict = None
+        #: Memo for the engine's kernel-wide address-uniqueness probe:
+        #: ``(n_ctas, all_unique)`` for the launch this trace fronted.
+        self._unique_key = None
+
+    @classmethod
+    def from_flat(
+        cls,
+        lines: "np.ndarray",
+        n_groups: int,
+        write_period: int,
+        accesses_per_record: int,
+        compute_cycles: float,
+    ) -> "ColumnarCTATrace":
+        """Build from a flat per-CTA address stream.
+
+        Mirrors ``records_from_arrays`` applied to each equal-length group
+        slice of ``lines``: every ``write_period``-th access (1-indexed
+        within its group) is a store, records batch ``accesses_per_record``
+        accesses with the partial tail kept, and loads keep their relative
+        order ahead of stores within a record.
+        """
+        if accesses_per_record <= 0:
+            raise ValueError(
+                f"accesses_per_record must be positive, got {accesses_per_record}"
+            )
+        if n_groups <= 0:
+            raise ValueError(f"n_groups must be positive, got {n_groups}")
+        flat = np.asarray(lines, dtype=np.int64)
+        per_group, leftover = divmod(flat.size, n_groups)
+        if leftover:
+            raise ValueError(
+                f"{flat.size} accesses do not divide into {n_groups} equal groups"
+            )
+        positions = np.arange(1, per_group + 1, dtype=np.int64)
+        if write_period:
+            mask = positions % write_period == 0
+        else:
+            mask = np.zeros(per_group, dtype=bool)
+        # Stable reorder: group accesses by record, reads ahead of writes,
+        # original order preserved within each class.  The permutation is
+        # the same for every group, so it is computed once and applied to
+        # the whole 2-D address block in one fancy-index.
+        record_ids = (positions - 1) // accesses_per_record
+        order = np.lexsort((positions, mask, record_ids))
+        addrs = flat.reshape(n_groups, per_group)[:, order]
+        is_write = mask[order]
+        starts = list(range(0, per_group, accesses_per_record))
+        if starts:
+            read_counts = np.add.reduceat(
+                (~mask).astype(np.int64), np.array(starts, dtype=np.int64)
+            )
+        else:
+            read_counts = []
+        spans = [
+            (start, start + int(reads), min(start + accesses_per_record, per_group))
+            for start, reads in zip(starts, read_counts)
+        ]
+        return cls(addrs, is_write, spans, compute_cycles)
+
+    def __len__(self) -> int:
+        return self.n_groups
+
+    def __iter__(self):
+        return iter(self.base_groups())
+
+    def __getitem__(self, index):
+        return self.base_groups()[index]
+
+    def base_groups(self) -> CTATrace:
+        """The classic ``TraceRecord`` view (cached after first use)."""
+        base = self._base
+        if base is None:
+            compute_cycles = self.compute_cycles
+            spans = self._spans
+            base = []
+            for row in self.addrs:
+                row_list = row.tolist()
+                base.append(
+                    [
+                        TraceRecord(
+                            compute_cycles,
+                            tuple(row_list[start:mid]),
+                            tuple(row_list[mid:end]),
+                        )
+                        for start, mid, end in spans
+                    ]
+                )
+            self._base = base
+        return base
+
+    def fast_groups(self, geometry: WalkGeometry):
+        """Records specialized for ``geometry`` (cached per geometry).
+
+        Packed records are ``(compute_cycles, issue_busy, reads, writes)``
+        with ``(line, l1_set, home_key, l2_set, l15_set)`` quintuples; the
+        unpacked flavor keeps plain address tuples.  ``issue_busy`` is
+        accumulated with the same left-to-right float arithmetic as
+        ``SM.charge_issue`` so the engine's timing is bit-identical.
+        """
+        cache = self._fast
+        if cache is None:
+            cache = self._fast = {}
+        else:
+            cached = cache.get(geometry)
+            if cached is not None:
+                return cached
+        compute_cycles = self.compute_cycles
+        spans = self._spans
+        throughput = geometry.issue_throughput
+        busys = [
+            (compute_cycles + (mid - start) + (end - mid)) / throughput
+            for start, mid, end in spans
+        ]
+        groups = []
+        if geometry.packed:
+            addrs = self.addrs
+            n_l1_sets = geometry.n_l1_sets
+            if n_l1_sets:
+                l1_sets = addrs % n_l1_sets
+            else:
+                l1_sets = np.zeros_like(addrs)
+            if geometry.line_interleaved:
+                home_keys = addrs % geometry.n_partitions
+            else:
+                home_keys = addrs // geometry.lines_per_page
+            n_l2_sets = geometry.n_l2_sets
+            if n_l2_sets:
+                l2_sets = addrs % n_l2_sets
+            else:
+                l2_sets = np.zeros_like(addrs)
+            n_l15_sets = geometry.n_l15_sets
+            if n_l15_sets:
+                l15_sets = addrs % n_l15_sets
+            else:
+                l15_sets = np.zeros_like(addrs)
+            for row, s1_row, home_row, s2_row, s15_row in zip(
+                addrs, l1_sets, home_keys, l2_sets, l15_sets
+            ):
+                row_list = row.tolist()
+                s1_list = s1_row.tolist()
+                home_list = home_row.tolist()
+                s2_list = s2_row.tolist()
+                s15_list = s15_row.tolist()
+                groups.append(
+                    [
+                        (
+                            compute_cycles,
+                            busy,
+                            tuple(
+                                zip(
+                                    row_list[start:mid],
+                                    s1_list[start:mid],
+                                    home_list[start:mid],
+                                    s2_list[start:mid],
+                                    s15_list[start:mid],
+                                )
+                            ),
+                            tuple(
+                                zip(
+                                    row_list[mid:end],
+                                    s1_list[mid:end],
+                                    home_list[mid:end],
+                                    s2_list[mid:end],
+                                    s15_list[mid:end],
+                                )
+                            ),
+                        )
+                        for (start, mid, end), busy in zip(spans, busys)
+                    ]
+                )
+        else:
+            for records in self.base_groups():
+                groups.append(
+                    [
+                        (record.compute_cycles, busy, record.reads, record.writes)
+                        for record, busy in zip(records, busys)
+                    ]
+                )
+        cache[geometry] = groups
+        return groups
 
 
 @dataclass(frozen=True)

@@ -195,3 +195,131 @@ class TestOccupancyWindows:
     def test_rejects_non_positive_window(self):
         with pytest.raises(ValueError, match="window_cycles"):
             BandwidthPipe(16.0).occupancy_windows(0.0)
+
+    def test_non_multiple_window_width_boundary_bucket(self):
+        """Regression: with bucket_cycles=0.3 the float ratio 0.9/0.3 is
+        2.9999999999999996, and the old ``int(bucket / ratio)`` assigned
+        bucket 3 (start cycle 3 * 0.3 = 0.8999999999999999, i.e. *before*
+        the float 0.9 window boundary) to window 1.  The Fraction-exact
+        index must keep it in window 0."""
+        pipe = BandwidthPipe(10.0, bucket_cycles=0.3)
+        pipe.transfer(1.0, 2)  # lands in bucket 3
+        assert pipe._used == {3: 2.0}
+        assert pipe.occupancy_windows(0.9) == [(0.0, 2.0)]
+        # And it aggregates with genuine window-0 buckets rather than
+        # opening a spurious second window.
+        pipe.transfer(0.0, 1)
+        assert pipe.occupancy_windows(0.9) == [(0.0, 3.0)]
+
+    def test_exact_multiple_window_width_unchanged(self):
+        pipe = BandwidthPipe(1.0, bucket_cycles=8.0)
+        for bucket in range(6):
+            pipe.transfer(bucket * 8.0, 2)
+        windows = pipe.occupancy_windows(16.0)
+        assert windows == [(0.0, 4.0), (16.0, 4.0), (32.0, 4.0)]
+
+
+class TestConservation:
+    """No byte is created or lost by the reservation algorithm: the bucket
+    map always holds exactly the bytes charged, and no bucket ever exceeds
+    its capacity — across out-of-order arrivals and both the single-bucket
+    fast path and the spilling slow path."""
+
+    @staticmethod
+    def _assert_conserved(pipe, expected_bytes):
+        assert sum(pipe._used.values()) == expected_bytes
+        assert pipe.bytes_transferred == expected_bytes
+        assert pipe.overfull_buckets() == []
+
+    def test_fast_path_conserves(self):
+        pipe = BandwidthPipe(4.0, bucket_cycles=16.0)  # 64 bytes per bucket
+        total = 0
+        for now, size in [(0.0, 32), (500.0, 16), (10.0, 32), (0.0, 16)]:
+            pipe.transfer(now, size)
+            total += size
+        self._assert_conserved(pipe, total)
+
+    def test_slow_path_spill_conserves(self):
+        pipe = BandwidthPipe(4.0, bucket_cycles=16.0)
+        pipe.transfer(0.0, 1000)  # spills across 16 buckets
+        self._assert_conserved(pipe, 1000)
+
+    def test_seeded_out_of_order_charges_conserve(self):
+        import random
+
+        rng = random.Random(0xC0FFEE)
+        pipe = BandwidthPipe(4.0, bucket_cycles=16.0)
+        total = 0
+        for _ in range(500):
+            now = rng.uniform(0.0, 2000.0)
+            # Sizes up to 4x bucket capacity exercise both paths; the low
+            # time range forces heavy contention and prefix skipping.
+            size = rng.randint(1, 256)
+            pipe.transfer(now, size)
+            total += size
+        self._assert_conserved(pipe, total)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        charges=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=3000.0, allow_nan=False),
+                st.integers(min_value=1, max_value=512),
+            ),
+            min_size=1,
+            max_size=120,
+        ),
+    )
+    def test_conservation_property(self, charges):
+        # Integer bucket capacity (1.0 * 16.0) keeps every split exact, so
+        # the conservation law holds with == rather than approx.
+        pipe = BandwidthPipe(1.0, bucket_cycles=16.0)
+        for now, size in charges:
+            pipe.transfer(now, size)
+        self._assert_conserved(pipe, sum(size for _, size in charges))
+
+    def test_transfer_run_conserves(self):
+        pipe = BandwidthPipe(4.0, bucket_cycles=16.0)
+        pipe.transfer_run(0.0, 128, 7)
+        assert sum(pipe._used.values()) == 128 * 7
+        assert pipe.bytes_transferred == 128 * 7
+        assert pipe.transfers == 7
+        assert pipe.overfull_buckets() == []
+
+
+class TestReserveMatchesTransfer:
+    """``reserve``/``reserve_run`` (the walker codegen's inline fallback)
+    must reproduce ``transfer``'s bucket walk exactly; only the floor,
+    counters, and busy_until bookkeeping are left to the caller."""
+
+    def test_reserve_finish_and_buckets_match_transfer(self):
+        import random
+
+        rng = random.Random(2026)
+        charges = [
+            (rng.uniform(0.0, 1500.0), rng.randint(1, 256)) for _ in range(300)
+        ]
+        ref = BandwidthPipe(4.0, bucket_cycles=16.0)
+        fast = BandwidthPipe(4.0, bucket_cycles=16.0)
+        for now, size in charges:
+            expected = ref.transfer(now, size)
+            finish = fast.reserve(now, size)
+            floor = now + size / fast.bytes_per_cycle
+            if finish < floor:
+                finish = floor
+            assert finish == expected
+        assert fast._used == ref._used
+        assert fast._full_prefix == ref._full_prefix
+        # reserve leaves the deferred bookkeeping untouched.
+        assert fast.bytes_transferred == 0
+        assert fast.transfers == 0
+        assert fast.busy_until == 0.0
+
+    def test_reserve_run_matches_transfer_run(self):
+        ref = BandwidthPipe(4.0, bucket_cycles=16.0)
+        fast = BandwidthPipe(4.0, bucket_cycles=16.0)
+        expected = ref.transfer_run(3.0, 128, 5)
+        finish = fast.reserve_run(3.0, 128, 5)
+        floor = 3.0 + 128 / fast.bytes_per_cycle
+        assert max(finish, floor) == expected
+        assert fast._used == ref._used

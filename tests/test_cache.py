@@ -29,6 +29,25 @@ class TestConstruction:
         hit, _ = cache.access(1)
         assert not hit
 
+    def test_disabled_cache_no_allocate_probe_is_bypass(self):
+        """Regression: the zero-capacity early return used to count every
+        access as a miss even under ``allocate=False``, where an enabled
+        cache (and ``touch_store``) counts a bypass — breaking the
+        "every store is a write_hit or a bypass" law at disabled levels."""
+        cache = SetAssocCache(size_bytes=0)
+        hit, writeback = cache.access(5, is_write=True, allocate=False)
+        assert not hit
+        assert writeback is None
+        assert cache.stats.bypasses == 1
+        assert cache.stats.misses == 0
+        assert cache.stats.write_misses == 0
+        assert cache.stats.accesses == 0  # bypasses are not lookups
+        # An allocating access still reports the plain miss.
+        cache.access(5, is_write=True)
+        assert cache.stats.misses == 1
+        assert cache.stats.write_misses == 1
+        assert cache.stats.bypasses == 1
+
     def test_rejects_negative_size(self):
         with pytest.raises(ValueError, match="size_bytes"):
             SetAssocCache(size_bytes=-1)

@@ -1,10 +1,13 @@
 """Unit tests for trace records and packing helpers."""
 
+import numpy as np
 import pytest
 
 from repro.workloads.trace import (
+    ColumnarCTATrace,
     KernelLaunch,
     TraceRecord,
+    WalkGeometry,
     records_from_arrays,
     write_period_from_fraction,
 )
@@ -65,3 +68,108 @@ class TestKernelLaunch:
             KernelLaunch(n_ctas=0, groups_per_cta=1, trace_fn=lambda c: [])
         with pytest.raises(ValueError, match="groups_per_cta"):
             KernelLaunch(n_ctas=1, groups_per_cta=0, trace_fn=lambda c: [])
+
+
+class TestColumnarCTATrace:
+    def _trace(self, **overrides):
+        kwargs = dict(
+            n_groups=2, write_period=3, accesses_per_record=5, compute_cycles=2.0
+        )
+        kwargs.update(overrides)
+        lines = (np.arange(46, dtype=np.int64) * 7) % 31
+        return lines, ColumnarCTATrace.from_flat(lines, **kwargs)
+
+    def test_from_flat_matches_records_from_arrays_per_group(self):
+        lines, trace = self._trace()
+        per_group = lines.size // 2
+        for group in range(2):
+            chunk = lines[group * per_group : (group + 1) * per_group].tolist()
+            assert trace.base_groups()[group] == records_from_arrays(
+                chunk, 3, 5, 2.0
+            )
+
+    def test_sequence_protocol_views_base_groups(self):
+        _, trace = self._trace()
+        assert len(trace) == 2
+        assert list(iter(trace)) == trace.base_groups()
+        assert trace[1] == trace.base_groups()[1]
+
+    def test_validation(self):
+        lines = np.arange(10, dtype=np.int64)
+        with pytest.raises(ValueError, match="accesses_per_record"):
+            ColumnarCTATrace.from_flat(lines, 2, 0, 0, 1.0)
+        with pytest.raises(ValueError, match="n_groups"):
+            ColumnarCTATrace.from_flat(lines, 0, 0, 4, 1.0)
+        with pytest.raises(ValueError, match="equal groups"):
+            ColumnarCTATrace.from_flat(lines, 3, 0, 4, 1.0)
+
+
+PACKED_INTERLEAVED = WalkGeometry(
+    packed=True,
+    n_l1_sets=8,
+    line_interleaved=True,
+    n_partitions=4,
+    lines_per_page=16,
+    issue_throughput=4.0,
+    n_l2_sets=16,
+    n_l15_sets=0,
+)
+PACKED_PAGED = PACKED_INTERLEAVED._replace(line_interleaved=False, n_l15_sets=32)
+UNPACKED = PACKED_INTERLEAVED._replace(packed=False)
+
+
+class TestFastGroups:
+    def _trace(self):
+        lines = (np.arange(24, dtype=np.int64) * 5) % 97
+        return ColumnarCTATrace.from_flat(
+            lines, n_groups=2, write_period=4, accesses_per_record=6,
+            compute_cycles=3.0,
+        )
+
+    def test_packed_quintuples_carry_geometry_indices(self):
+        trace = self._trace()
+        groups = trace.fast_groups(PACKED_INTERLEAVED)
+        base = trace.base_groups()
+        for group, records in zip(groups, base):
+            for packed, record in zip(group, records):
+                compute_cycles, busy, reads, writes = packed
+                assert compute_cycles == record.compute_cycles
+                assert busy == (
+                    3.0 + len(record.reads) + len(record.writes)
+                ) / 4.0
+                assert tuple(t[0] for t in reads) == record.reads
+                assert tuple(t[0] for t in writes) == record.writes
+                for line, l1_set, home, l2_set, l15_set in reads + writes:
+                    assert l1_set == line % 8
+                    assert home == line % 4  # fine-grain interleaving
+                    assert l2_set == line % 16
+                    assert l15_set == 0  # level absent -> placeholder column
+
+    def test_paged_homing_uses_page_index(self):
+        trace = self._trace()
+        groups = trace.fast_groups(PACKED_PAGED)
+        for group in groups:
+            for _, _, reads, writes in group:
+                for line, _, home, _, l15_set in reads + writes:
+                    assert home == line // 16
+                    assert l15_set == line % 32
+
+    def test_unpacked_flavor_keeps_plain_addresses(self):
+        trace = self._trace()
+        groups = trace.fast_groups(UNPACKED)
+        for group, records in zip(groups, trace.base_groups()):
+            for (compute_cycles, busy, reads, writes), record in zip(
+                group, records
+            ):
+                assert reads == record.reads
+                assert writes == record.writes
+
+    def test_cache_is_per_geometry_and_stable(self):
+        trace = self._trace()
+        first_a = trace.fast_groups(PACKED_INTERLEAVED)
+        first_b = trace.fast_groups(PACKED_PAGED)
+        # Interleaving geometries (a benchmark sweeping configs over one
+        # memoized trace) must not repack: each geometry keeps its slot.
+        assert trace.fast_groups(PACKED_INTERLEAVED) is first_a
+        assert trace.fast_groups(PACKED_PAGED) is first_b
+        assert first_a is not first_b
