@@ -9,8 +9,14 @@ process pool (``REPRO_WORKERS``) overlaps every (workload, config) pair.
 Usage: python scripts/calibrate.py [section ...]
 Sections: fig4 fig6 fig9 fig13 fig16 mono multi fig2 traffic all
 (default: fast set)
+
+``--analytical [--fast] [--bless]`` fits the analytical tier instead:
+predicted vs golden cycles per workload class, predicted vs simulated
+sweep scores on the calibration matrix, and (with ``--bless``) the
+``golden/analytical.json`` artifact the explore screen loads.
 """
 
+import math
 import sys
 import time
 
@@ -153,6 +159,42 @@ def traffic():
         print(f"{label:<12} M-avg {mbw:.2f} TB/s; total {total/1e9:.2f} GB moved")
 
 
+def analytical(fast=False, bless=False):
+    from repro.validate.analytical import default_calibration_path, fit_calibration
+
+    print("== Analytical tier calibration (prediction vs exact simulator) ==")
+    calibration, rows = fit_calibration(fast=fast)
+    print(f"model r{calibration.model_rev}; {calibration.note}")
+    print(f"{'class':<22} {'pairs':>5} {'scale':>7} {'band':>7}  worst |residual|")
+    for name in sorted(calibration.classes):
+        band = calibration.classes[name]
+        residuals = [
+            abs(float(r["log_error"]) - math.log(band.cycles_scale))
+            for r in rows["golden"]
+            if r["class"] == name
+        ]
+        print(
+            f"{name:<22} {band.pairs:>5} {band.cycles_scale:7.3f} "
+            f"{band.cycles_band:7.3f}  {max(residuals):.3f} log-cycles"
+        )
+    print(f"\nscore matrix ({len(rows['scores'])} points):")
+    print(f"{'candidate':<42} {'family':<11} {'rung':>13} {'sim':>7} {'pred':>7} {'log err':>8}")
+    for row in rows["scores"]:
+        print(
+            f"{row['candidate']:<42} {row['family']:<11} {row['rung']:>13} "
+            f"{row['sim_score']:7.3f} {row['pred_score']:7.3f} {row['log_error']:+8.4f}"
+        )
+    print("\nblessed score bands (worst centered residual x safety, per sweep rung):")
+    for key in sorted(calibration.score_bands):
+        print(f"  {key:<26} +/-{calibration.score_bands[key]:.4f} log-score")
+    print(f"  {'(widest)':<26} +/-{calibration.score_band:.4f} log-score")
+    if bless:
+        path = calibration.save(default_calibration_path())
+        print(f"blessed -> {path}")
+    else:
+        print("(dry run; pass --bless to write golden/analytical.json)")
+
+
 SECTIONS = {
     "fig4": fig4, "fig6": fig6, "fig9": fig9, "fig13": fig13,
     "fig16": fig16, "mono": mono, "multi": multi, "fig2": fig2,
@@ -160,7 +202,19 @@ SECTIONS = {
 }
 
 if __name__ == "__main__":
-    args = sys.argv[1:] or ["fig6", "fig9", "fig13", "fig16", "traffic"]
+    argv = sys.argv[1:]
+    if "--analytical" in argv:
+        fast = "--fast" in argv
+        bless = "--bless" in argv
+        extra = [a for a in argv if a not in ("--analytical", "--fast", "--bless")]
+        if extra:
+            print(f"--analytical takes only --fast/--bless, got: {' '.join(extra)}")
+            sys.exit(2)
+        t0 = time.time()
+        analytical(fast=fast, bless=bless)
+        print(f"[analytical: {time.time()-t0:.0f}s]")
+        sys.exit(0)
+    args = argv or ["fig6", "fig9", "fig13", "fig16", "traffic"]
     if args == ["all"]:
         args = list(SECTIONS)
     for name in args:

@@ -6,6 +6,7 @@ Usage:
     python scripts/explore.py --sweep link_l15 --fast     # quick full-pipeline run
     python scripts/explore.py --sweep link_l15            # the real thing (slower)
     python scripts/explore.py --sweep smoke --out /tmp/x  # CI-sized smoke sweep
+    python scripts/explore.py --sweep wide --analytical   # analytical rung-0 screen
 
 Each sweep enumerates its candidate grid, ranks it by successive halving
 (cheap screening rung, survivors promoted to the expensive rung), extracts
@@ -71,6 +72,12 @@ def main() -> int:
         metavar="N",
         help="process-pool size for suite runs (overrides REPRO_WORKERS)",
     )
+    parser.add_argument(
+        "--analytical",
+        action="store_true",
+        help="screen rung 0 with the calibrated analytical model "
+        "(needs golden/analytical.json; see scripts/calibrate.py --analytical)",
+    )
     opts = parser.parse_args()
     if opts.workers is not None:
         os.environ["REPRO_WORKERS"] = str(opts.workers)
@@ -78,9 +85,19 @@ def main() -> int:
     from pathlib import Path
 
     from repro.explore import BUILTIN_SWEEPS, build_plan, run_sweep, write_artifacts
+    from repro.explore.builtin import screen_for_plan
     from repro.explore.report import render_text
     from repro.experiments.common import default_cache
     from repro.parallel import GLOBAL_METRICS
+    from repro.validate.analytical import CalibrationError, load_calibration
+
+    calibration = None
+    if opts.analytical:
+        try:
+            calibration = load_calibration()
+        except CalibrationError as exc:
+            print(f"--analytical unavailable: {exc}", file=sys.stderr)
+            return 1
 
     if opts.list or not opts.sweep:
         print("built-in sweeps:")
@@ -100,7 +117,8 @@ def main() -> int:
         GLOBAL_METRICS.reset()
         start = time.time()
         plan = build_plan(key, fast=opts.fast, seed=opts.seed)
-        report = run_sweep(plan, keep_fraction=opts.keep)
+        screen = None if calibration is None else screen_for_plan(plan, calibration)
+        report = run_sweep(plan, keep_fraction=opts.keep, screen=screen)
         paths = write_artifacts(report, Path(opts.out), cache=default_cache())
         print(render_text(report))
         metrics = GLOBAL_METRICS.report(per_config=False)

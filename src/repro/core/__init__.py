@@ -1,11 +1,19 @@
 """Core MCM-GPU architecture: configuration, structural model, request path."""
 
 from .analytical import (
+    AnalyticalPrediction,
     BandwidthRequirement,
+    average_hops,
     expected_slowdown_bound,
+    predict_cycles,
+    predict_speedup,
+    predict_suite_score,
+    predicted_objectives,
     required_link_bandwidth,
     ring_average_hops,
     supply_bandwidth_per_partition,
+    topology_link_count,
+    topology_ports,
 )
 from .config import (
     CLOCK_HZ,
@@ -39,11 +47,19 @@ from .presets import (
 from .sm import SM
 
 __all__ = [
+    "AnalyticalPrediction",
     "BandwidthRequirement",
+    "average_hops",
     "expected_slowdown_bound",
+    "predict_cycles",
+    "predict_speedup",
+    "predict_suite_score",
+    "predicted_objectives",
     "required_link_bandwidth",
     "ring_average_hops",
     "supply_bandwidth_per_partition",
+    "topology_link_count",
+    "topology_ports",
     "CLOCK_HZ",
     "MEMORY_SCALE",
     "CacheConfig",

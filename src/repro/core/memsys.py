@@ -64,6 +64,9 @@ class MemorySystem:
             else None
         )
         self.migration_bytes = 0
+        # Lazily built per-(src, dst) route table for non-ring topologies
+        # (see _link_routes); rings expose their own table directly.
+        self._route_table = None
         # Deferred-counter flush hooks installed by make_walkers(); empty
         # whenever the walker fast path is not in use.
         self._walker_flushes: list = []
@@ -141,6 +144,26 @@ class MemorySystem:
         )
         self._partition_write(time, home, line_addr)
         return now + STORE_ACK_LATENCY
+
+    def _link_routes(self):
+        """Per-(src, dst) link sequences for the inlined transfer walks.
+
+        Rings expose their precomputed ``_routes`` table directly; other
+        topologies (e.g. all-to-all) get a table built once from the
+        public ``route()`` API.  Link objects are reset in place, so the
+        table stays valid across runs.
+        """
+        routes = getattr(self._ring, "_routes", None)
+        if routes is not None:
+            return routes
+        if self._route_table is None:
+            n = len(self._gpms)
+            ring = self._ring
+            self._route_table = [
+                [tuple(ring.route(src, dst)) for dst in range(n)]
+                for src in range(n)
+            ]
+        return self._route_table
 
     # ------------------------------------------------------------------
     # bulk request paths (engine hot loop)
@@ -220,7 +243,7 @@ class MemorySystem:
         partition_read = self._partition_read
         # Inlined RingNetwork.transfer: precomputed shortest-path link
         # tuples, walked directly (same hop order, same pipe charges).
-        routes = self._ring._routes
+        routes = self._link_routes()
         request_routes = routes[gpm_id] if routes else None
         remote_loads = 0
         for line in misses:
@@ -312,7 +335,7 @@ class MemorySystem:
         l15_caches_local = gpm.l15_caches_local
         has_l15 = gpm.has_l15
         partition_write = self._partition_write
-        routes = self._ring._routes
+        routes = self._link_routes()
         request_routes = routes[gpm_id] if routes else None
         store_bytes = LINE_BYTES + REQUEST_HEADER_BYTES
         remote_stores = 0
@@ -426,6 +449,11 @@ class MemorySystem:
         self._walker_flushes = []
         if self._migrating_policy is not None:
             return None
+        if not hasattr(self._ring, "_routes"):
+            # Both walker flavors prebind a ring's precomputed link routes;
+            # other topologies (e.g. all-to-all) charge transfers through
+            # the network object and keep the batch path.
+            return None
         from .walkgen import UnsupportedWalk, build_walkers
 
         try:
@@ -518,7 +546,7 @@ class MemorySystem:
 
         # Ring hops as prebound (pipe.transfer, latency) pairs per home;
         # same link walk and charge order as RingNetwork.transfer.
-        routes = self._ring._routes
+        routes = self._link_routes()
         if routes:
             req_hops = [
                 tuple(

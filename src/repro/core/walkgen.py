@@ -717,9 +717,11 @@ def build_walkers(memsys):
 
     gpms = memsys._gpms
     n = len(gpms)
-    routes = memsys._ring._routes
-    if n > 1 and not routes:
-        raise UnsupportedWalk("multi-partition system without precomputed routes")
+    # Only ring interconnects precompute per-(src, dst) link routes; other
+    # topologies (e.g. all-to-all) take the generic fused walker.
+    routes = getattr(memsys._ring, "_routes", None)
+    if routes is None or (n > 1 and not routes):
+        raise UnsupportedWalk("interconnect without precomputed ring routes")
 
     l2_counts = {gpm.l2.n_sets for gpm in gpms}
     uniform_l2 = l2_counts.pop() if len(l2_counts) == 1 else 0

@@ -349,6 +349,7 @@ def run_suites(
     cache=_USE_DEFAULT,
     max_workers: Optional[int] = None,
     progress=None,
+    metrics=None,
 ) -> List[Dict[str, SimResult]]:
     """Run the suite on several configurations in one (parallel) batch.
 
@@ -360,6 +361,12 @@ def run_suites(
 
     ``progress``, when given, is called as ``progress(done, total,
     result)`` after each simulated (non-cached) pair.
+
+    ``metrics``, when given, is a private
+    :class:`~repro.parallel.metrics.SuiteMetrics` sink that receives the
+    same batch/sim records as the process-wide ``GLOBAL_METRICS`` — it
+    lets a caller (e.g. the explore rung accounting) scope its cost
+    deltas to its own runs, immune to concurrent suite activity.
     """
     from ..parallel import metrics as _metrics
     from ..parallel import runner as _runner
@@ -386,22 +393,26 @@ def run_suites(
             cache=cache,
             progress=progress,
             stats=stats,
+            metrics=metrics,
         )
         cached = stats.get("cached_slots", 0)
     else:
         results = [
-            _run_suite_serial(config, workload_list, cache, progress)
+            _run_suite_serial(config, workload_list, cache, progress, metrics=metrics)
             for config in configs
         ]
         hits_after = cache.hits if cache is not None else 0
         cached = hits_after - hits_before
-    _metrics.GLOBAL_METRICS.record_batch(
-        configs=[config.name for config in configs],
-        total=total,
-        cached=cached,
-        wall=time.time() - start,
-        workers=workers,
-    )
+    for sink in (_metrics.GLOBAL_METRICS, metrics):
+        if sink is None:
+            continue
+        sink.record_batch(
+            configs=[config.name for config in configs],
+            total=total,
+            cached=cached,
+            wall=time.time() - start,
+            workers=workers,
+        )
     return results
 
 
@@ -410,6 +421,7 @@ def _run_suite_serial(
     workloads: Iterable[Workload],
     cache: Optional[ResultCache],
     progress=None,
+    metrics=None,
 ) -> Dict[str, SimResult]:
     """The classic serial loop: one reused simulator, workloads in order.
 
@@ -441,7 +453,10 @@ def _run_suite_serial(
             simulator = Simulator(config, telemetry=telemetry)
         sim_start = time.time()
         result = simulator.run(workload)
-        _metrics.GLOBAL_METRICS.record_sim(result.system_name, time.time() - sim_start)
+        sim_seconds = time.time() - sim_start
+        _metrics.GLOBAL_METRICS.record_sim(result.system_name, sim_seconds)
+        if metrics is not None:
+            metrics.record_sim(result.system_name, sim_seconds)
         if simulator.telemetry is not None:
             _metrics.GLOBAL_METRICS.record_telemetry(simulator.telemetry.summary())
         if cache is not None:

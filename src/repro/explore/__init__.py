@@ -10,7 +10,8 @@ sensitivity`), and write deterministic ``explore/<sweep>/`` artifacts
 :data:`~repro.explore.builtin.BUILTIN_SWEEPS` lists the shipped sweeps.
 """
 
-from .builtin import BUILTIN_SWEEPS, SweepPlan, build_plan, run_sweep
+from .analytical import AnalyticalScreen, ScreenOutcome
+from .builtin import BUILTIN_SWEEPS, SweepPlan, build_plan, run_sweep, screen_for_plan
 from .pareto import DEFAULT_OBJECTIVES, Objective, dominates, pareto_front, pareto_indices
 from .report import SweepReport, render_text, write_artifacts
 from .search import (
@@ -32,6 +33,7 @@ from .sensitivity import (
 from .spec import Axis, Candidate, SweepSpec, config_get, config_replace
 
 __all__ = [
+    "AnalyticalScreen",
     "Axis",
     "AxisSensitivity",
     "BUILTIN_SWEEPS",
@@ -42,6 +44,7 @@ __all__ = [
     "Objective",
     "RungStats",
     "ScoredCandidate",
+    "ScreenOutcome",
     "SweepPlan",
     "SweepReport",
     "SweepSpec",
@@ -58,6 +61,7 @@ __all__ = [
     "promotion_count",
     "render_text",
     "run_sweep",
+    "screen_for_plan",
     "select_survivors",
     "successive_halving",
     "write_artifacts",

@@ -1,0 +1,170 @@
+"""Analytical rung-0 screen for successive halving.
+
+Given a blessed :class:`~repro.validate.analytical.Calibration`, the
+screen scores every candidate with the analytical predictor and splits
+the field into three sets using the calibrated score band ``b`` (a
+log-space uncertainty radius on predicted geomean-speedup scores,
+looked up per (sweep, rung-0 suite) via the screen's ``band_key``; ad
+hoc screens without a key use the artifact's widest band):
+
+* **definite in** — candidates that make the promotion cut even if every
+  score is wrong by the full band against them: at most ``keep - 1``
+  rivals *could possibly* beat them (rival score ``> score * e^(-2b)``).
+* **screened out** — candidates that miss the cut even if every score is
+  wrong by the full band in their favor: at least ``keep`` rivals
+  *certainly* beat them (rival score ``> score * e^(+2b)``).
+* **ambiguous** — everyone else; these still go through the exact rung-0
+  simulation, and the promotion slots not taken by definite-ins are
+  filled from their simulated ranking.
+
+Because "possibly beats" is implied by "certainly beats", the definite-in
+and ambiguous sets together always cover the ``keep`` promotion slots,
+and — as long as the true simulated scores lie within the blessed band of
+the analytical ones — the screen can never drop a candidate the
+unscreened search would have promoted.  That conservative contract is
+what the calibration artifact's score bands bless, and what the
+`tests` assert on the built-in sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.analytical import predict_suite_score, predicted_objectives
+from ..core.config import SystemConfig
+from ..validate.analytical import Calibration
+from ..workloads.characterize import WorkloadProfile, cached_profile
+from ..workloads.trace import Workload
+from .spec import Candidate
+
+
+@dataclass(frozen=True)
+class ScreenOutcome:
+    """Classification of one candidate field at one promotion cut."""
+
+    #: Log-space score uncertainty radius the classification used.
+    band: float
+    #: Promotion slots the cut will fill.
+    keep: int
+    #: Analytical score per candidate name.
+    scores: Dict[str, float]
+    #: Names promoted without simulation, best analytical score first.
+    definite_in: Tuple[str, ...]
+    #: Names whose fate the band cannot decide — they simulate.
+    ambiguous: Tuple[str, ...]
+    #: Names eliminated without simulation, best analytical score first.
+    screened_out: Tuple[str, ...]
+    #: Rung pairs a fully simulated rung would have cost.
+    pairs_unscreened: int
+
+    def to_dict(self) -> Dict[str, object]:
+        """Deterministic summary for the sweep report artifact."""
+        return {
+            "band": self.band,
+            "keep": self.keep,
+            "definite_in": len(self.definite_in),
+            "ambiguous": len(self.ambiguous),
+            "screened_out": len(self.screened_out),
+            "pairs_unscreened": self.pairs_unscreened,
+        }
+
+
+class AnalyticalScreen:
+    """Scores candidates analytically and classifies them conservatively.
+
+    One screen instance is bound to a sweep's baseline and rung-0
+    workloads; profiles are computed lazily once and memoized process-wide
+    by workload digest.
+    """
+
+    def __init__(
+        self,
+        calibration: Calibration,
+        baseline: SystemConfig,
+        workloads: Sequence[Workload],
+        band_key: Optional[str] = None,
+        max_ctas: int = 64,
+    ) -> None:
+        if not workloads:
+            raise ValueError("AnalyticalScreen needs at least one workload")
+        self.calibration = calibration
+        self.baseline = baseline
+        self.workloads = list(workloads)
+        #: ``score_band_key`` of the rung this screen classifies (see
+        #: :func:`repro.validate.analytical.score_band_key`); ``None``
+        #: uses the artifact's widest band.
+        self.band_key = band_key
+        self.max_ctas = max_ctas
+        self._profiles: Optional[List[WorkloadProfile]] = None
+
+    @property
+    def band(self) -> float:
+        """Log-space score uncertainty radius this screen classifies with."""
+        if self.band_key is None:
+            return self.calibration.score_band
+        return self.calibration.band_for_sweep(self.band_key)
+
+    @property
+    def profiles(self) -> List[WorkloadProfile]:
+        """Rung-0 workload profiles (computed on first use)."""
+        if self._profiles is None:
+            self._profiles = [
+                cached_profile(workload, max_ctas=self.max_ctas)
+                for workload in self.workloads
+            ]
+        return self._profiles
+
+    def score(self, candidate: Candidate) -> float:
+        """Analytical geomean speedup of ``candidate`` over the baseline."""
+        return predict_suite_score(self.profiles, candidate.config, self.baseline)
+
+    def objectives(self, candidate: Candidate) -> Dict[str, float]:
+        """Predicted objective vector (same keys as ``objectives_of``)."""
+        return predicted_objectives(self.profiles, candidate.config, self.baseline)
+
+    def classify(self, candidates: Sequence[Candidate], keep: int) -> ScreenOutcome:
+        """Split ``candidates`` into definite-in / ambiguous / screened-out.
+
+        ``keep`` is the number of promotion slots (see
+        :func:`repro.explore.search.promotion_count`).  Ties and
+        within-band comparisons always land in ``ambiguous``.
+        """
+        if keep <= 0:
+            raise ValueError(f"keep must be positive, got {keep}")
+        scores = {c.name: self.score(c) for c in candidates}
+        band = self.band
+        # Two candidates' scores are only distinguishable when they differ
+        # by more than both errors stacked against the comparison: 2*band.
+        gap = math.exp(2.0 * band)
+        definite_in: List[str] = []
+        ambiguous: List[str] = []
+        screened_out: List[str] = []
+        for name, score in scores.items():
+            possibly_better = sum(
+                1
+                for other, other_score in scores.items()
+                if other != name and other_score > score / gap
+            )
+            certainly_better = sum(
+                1
+                for other, other_score in scores.items()
+                if other != name and other_score > score * gap
+            )
+            if certainly_better >= keep:
+                screened_out.append(name)
+            elif possibly_better <= keep - 1:
+                definite_in.append(name)
+            else:
+                ambiguous.append(name)
+        order = lambda name: (-scores[name], name)  # noqa: E731 - tiny sort key
+        return ScreenOutcome(
+            band=band,
+            keep=keep,
+            scores=scores,
+            definite_in=tuple(sorted(definite_in, key=order)),
+            ambiguous=tuple(sorted(ambiguous, key=order)),
+            screened_out=tuple(sorted(screened_out, key=order)),
+            pairs_unscreened=(len(candidates) + 1) * len(self.workloads),
+        )

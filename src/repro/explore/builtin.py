@@ -229,12 +229,51 @@ def smoke_sweep(fast: bool = True, seed: int = 0) -> SweepPlan:
     )
 
 
+def wide_sweep(fast: bool = False, seed: int = 0) -> SweepPlan:
+    """Link x L1.5 x page size — a 54-point grid sized for the screen.
+
+    The full cross product (6 link settings x 3 L1.5 capacities x 3 page
+    sizes) costs a 55-config rung 0 when simulated exactly — the wide
+    sweeps this repo is growing toward are only feasible behind the
+    analytical rung-0 screen (``scripts/explore.py --sweep wide
+    --analytical``), which simulates just the band-ambiguous candidates.
+    Running it unscreened still works; it is merely slow.
+    """
+    base = mcm_gpu_with_l15(
+        16,
+        remote_only=True,
+        scheduler="distributed",
+        placement="first_touch",
+        name="mcm-wide",
+    )
+    spec = SweepSpec(
+        name="wide",
+        base=base,
+        axes=(
+            Axis(
+                "link_bandwidth",
+                (96.0, 192.0, 384.0, 768.0, 1536.0, 3072.0),
+                label="link",
+            ),
+            Axis("gpm.l15.size_bytes", tuple(_l15_sizes()), label="l15"),
+            Axis("page_bytes", (512, 2048, 8192), label="page"),
+        ),
+        seed=seed,
+    )
+    return SweepPlan(
+        spec=spec,
+        baseline=baseline_mcm_gpu(),
+        rungs=_suite_rungs(fast),
+    )
+
+
 #: Registry of built-in sweeps: key -> (description, plan factory).
 BUILTIN_SWEEPS: Dict[str, Tuple[str, Callable[..., SweepPlan]]] = {
     "link_l15": ("link bandwidth x L1.5 capacity (+ Fig 14 crossover)", link_l15_sweep),
     "page_place": ("page size x placement policy", page_place_sweep),
     "gpm_count": ("GPM count x link bandwidth", gpm_count_sweep),
     "smoke": ("tiny 2x2 CI smoke sweep", smoke_sweep),
+    "wide": ("54-point link x L1.5 x page grid (use --analytical)", wide_sweep),
 }
 
 
@@ -248,10 +287,37 @@ def build_plan(key: str, fast: bool = False, seed: int = 0) -> SweepPlan:
     return factory(fast=fast, seed=seed)
 
 
+def screen_for_plan(plan: SweepPlan, calibration) -> "object":
+    """Analytical rung-0 screen bound to a plan's baseline and cheap rung.
+
+    ``calibration`` is a blessed
+    :class:`~repro.validate.analytical.Calibration`; the returned
+    :class:`~repro.explore.analytical.AnalyticalScreen` goes straight
+    into :func:`run_sweep`'s ``screen`` parameter.  The screen
+    classifies with the band blessed for exactly this sweep's rung-0
+    suite; a calibration that never fitted that rung (e.g. ``--fast``
+    blessing vs a full-scale sweep) raises
+    :class:`~repro.validate.analytical.CalibrationError` at classify
+    time rather than screening with an unvalidated band.
+    """
+    from ..validate.analytical import score_band_key
+    from .analytical import AnalyticalScreen
+
+    if not plan.rungs:
+        raise ValueError("plan has no rungs to screen")
+    return AnalyticalScreen(
+        calibration,
+        plan.baseline,
+        plan.rungs[0][1],
+        band_key=score_band_key(plan.spec.name, plan.rungs[0][0]),
+    )
+
+
 def run_sweep(
     plan: SweepPlan,
     keep_fraction: float = 0.5,
     runner: Optional[Runner] = None,
+    screen=None,
 ) -> SweepReport:
     """Execute one sweep plan end to end.
 
@@ -260,6 +326,11 @@ def run_sweep(
     sensitivity runs around the base configuration, and the crossover
     search (when the plan has one) bisects its axis — all through the
     same runner, so everything shares the process pool and result cache.
+
+    ``screen`` (see :func:`screen_for_plan`) applies the analytical
+    rung-0 screen; the final frontier and crossover are unchanged by
+    construction as long as the calibrated band holds, only the rung-0
+    simulation bill shrinks.
     """
     if runner is None:
         runner = default_runner()
@@ -269,6 +340,7 @@ def run_sweep(
         plan.rungs,
         keep_fraction=keep_fraction,
         runner=runner,
+        screen=screen,
     )
     last_rung = len(plan.rungs) - 1
     finalists = [item for item in halving.ranking if item.rung == last_rung]

@@ -92,6 +92,7 @@ def render_text(report: SweepReport) -> str:
     """Render the deterministic report as aligned monospace tables."""
     objective_keys = [objective.key for objective in report.objectives]
     frontier_names = {item.candidate.name for item in report.frontier}
+    screened = any(item.source != "sim" for item in report.halving.ranking)
     ranking_rows = [
         [
             item.candidate.name,
@@ -99,15 +100,19 @@ def render_text(report: SweepReport) -> str:
             item.rung,
             "*" if item.candidate.name in frontier_names else "",
         ]
+        + (["a" if item.source == "analytical" else ""] if screened else [])
         + [_fmt_obj(item.objectives[key]) for key in objective_keys]
         for item in report.halving.ranking
     ]
     sections = [
         format_table(
-            ["Candidate", "Score", "Rung", "Pareto"] + objective_keys,
+            ["Candidate", "Score", "Rung", "Pareto"]
+            + (["Src"] if screened else [])
+            + objective_keys,
             ranking_rows,
             title=f"Sweep {report.spec.name!r}: ranking "
-            f"(geomean speedup over {report.baseline.name})",
+            f"(geomean speedup over {report.baseline.name})"
+            + (" — 'a' = analytical screen, never simulated" if screened else ""),
         )
     ]
 
@@ -139,6 +144,22 @@ def render_text(report: SweepReport) -> str:
         )
     )
 
+    for rung in report.halving.rungs:
+        if rung.screen is None:
+            continue
+        info = rung.screen
+        unscreened = int(info.get("pairs_unscreened", 0))
+        reduction = (
+            f"{unscreened / rung.pairs:.1f}x" if rung.pairs else "all pairs skipped"
+        )
+        sections.append(
+            f"Analytical screen (rung {rung.rung}, band +/-{float(info['band']):.3f} "
+            f"log-score): {info['definite_in']} promoted and "
+            f"{info['screened_out']} eliminated without simulation, "
+            f"{info['ambiguous']} ambiguous simulated; "
+            f"{rung.pairs} of {unscreened} exact pairs ({reduction} reduction)"
+        )
+
     if report.sensitivity:
         sens_rows = [
             [
@@ -159,21 +180,35 @@ def render_text(report: SweepReport) -> str:
 
     if report.crossover is not None:
         cross = report.crossover
-        if cross.estimate is None:
-            verdict = (
-                f"no crossover in [{cross.lo:g}, {cross.hi:g}] — the candidate "
-                f"system never overtakes the reference in the probed range"
-            )
-        elif cross.bracketed:
+        if cross.bracketed:
             verdict = (
                 f"crossover at {cross.axis} ~= {cross.estimate:g} "
                 f"(+/- {cross.tolerance:g})"
             )
         else:
-            verdict = (
-                f"candidate already ahead at {cross.axis} = {cross.lo:g}; "
-                f"true threshold lies at or below it"
+            adv_lo, adv_hi = cross.endpoint_advantages
+            endpoints = (
+                f"advantage {adv_lo:+.4f} at {cross.lo:g}, "
+                f"{adv_hi:+.4f} at {cross.hi:g}"
             )
+            if cross.status == "always_ahead":
+                verdict = (
+                    f"no crossover in [{cross.lo:g}, {cross.hi:g}] — candidate "
+                    f"already ahead across the whole range ({endpoints}); "
+                    f"true threshold lies at or below {cross.lo:g}"
+                )
+            elif cross.status == "never_ahead":
+                verdict = (
+                    f"no crossover in [{cross.lo:g}, {cross.hi:g}] — candidate "
+                    f"never overtakes the reference in the probed range "
+                    f"({endpoints})"
+                )
+            else:
+                verdict = (
+                    f"advantage decreases across [{cross.lo:g}, {cross.hi:g}] "
+                    f"({endpoints}) — monotonicity assumption violated, "
+                    f"no threshold reported"
+                )
         samples = "  ".join(f"{x:g}:{adv:+.4f}" for x, adv in cross.samples)
         sections.append(
             f"Crossover ({cross.axis} in [{cross.lo:g}, {cross.hi:g}], "

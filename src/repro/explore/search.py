@@ -20,15 +20,18 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.speedup import geomean, speedups, suite_energy_joules
 from ..core.config import SystemConfig
 from ..experiments.common import run_suites
-from ..parallel.metrics import GLOBAL_METRICS
+from ..parallel.metrics import GLOBAL_METRICS, SuiteMetrics
 from ..sim.result import SimResult
 from ..workloads.trace import Workload
 from .spec import Candidate
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only, avoids an import cycle
+    from .analytical import AnalyticalScreen
 
 #: A rung runner: maps (configs, workloads) to one result dict per config.
 Runner = Callable[[Sequence[SystemConfig], Sequence[Workload]], List[Dict[str, SimResult]]]
@@ -45,6 +48,9 @@ class ScoredCandidate:
     objectives: Dict[str, float]
     #: Highest rung index this candidate was evaluated on.
     rung: int
+    #: Where the score came from: "sim" (exact simulation) or
+    #: "analytical" (rung-0 screen; candidate never simulated).
+    source: str = "sim"
 
     def to_dict(self) -> Dict[str, object]:
         """JSON form for sweep artifacts."""
@@ -53,6 +59,7 @@ class ScoredCandidate:
             "score": self.score,
             "objectives": dict(self.objectives),
             "rung": self.rung,
+            "source": self.source,
         }
 
 
@@ -75,16 +82,22 @@ class RungStats:
     cached: int
     wall_seconds: float
     sim_seconds: float
+    #: Analytical-screen summary (rung 0 of a screened search only):
+    #: band, keep, definite/ambiguous/screened counts, pairs_unscreened.
+    screen: Optional[Dict[str, object]] = None
 
     def deterministic_dict(self) -> Dict[str, object]:
         """The run-independent fields (safe for bit-identical artifacts)."""
-        return {
+        payload: Dict[str, object] = {
             "rung": self.rung,
             "label": self.label,
             "candidates": self.candidates,
             "promoted": self.promoted,
             "pairs": self.pairs,
         }
+        if self.screen is not None:
+            payload["screen"] = dict(self.screen)
+        return payload
 
     def runtime_dict(self) -> Dict[str, object]:
         """The run-specific fields (cache- and machine-dependent)."""
@@ -153,13 +166,13 @@ def select_survivors(
     return ranked[: promotion_count(len(ranked), keep_fraction)]
 
 
-def _metrics_snapshot() -> Tuple[int, int, float, float]:
-    """(pairs, cached, wall, sim-seconds) snapshot of the global metrics."""
+def _metrics_snapshot(metrics: SuiteMetrics) -> Tuple[int, int, float, float]:
+    """(pairs, cached, wall, sim-seconds) snapshot of a metrics sink."""
     return (
-        GLOBAL_METRICS.total_pairs,
-        GLOBAL_METRICS.cached_pairs,
-        GLOBAL_METRICS.wall_seconds,
-        sum(GLOBAL_METRICS.sim_seconds_by_config.values()),
+        metrics.total_pairs,
+        metrics.cached_pairs,
+        metrics.wall_seconds,
+        sum(metrics.sim_seconds_by_config.values()),
     )
 
 
@@ -198,18 +211,79 @@ def default_runner(cache=None, max_workers: Optional[int] = None) -> Runner:
     ``cache=None`` keeps :func:`run_suites`' default-cache semantics; pass
     an explicit :class:`~repro.experiments.common.ResultCache` to pin the
     cache directory (as tests and the CI smoke job do).
+
+    The returned runner carries its own private ``metrics`` sink
+    (:class:`~repro.parallel.metrics.SuiteMetrics`): every batch it runs
+    is recorded there in addition to the process-wide ``GLOBAL_METRICS``,
+    so the halving rung accounting sees only this runner's cost even when
+    other suite runs (a crossover search, a calibration fit) interleave
+    in the same process.
     """
+    sink = SuiteMetrics()
 
     def run(
         configs: Sequence[SystemConfig], workloads: Sequence[Workload]
     ) -> List[Dict[str, SimResult]]:
         if cache is None:
-            return run_suites(configs, workloads=workloads, max_workers=max_workers)
+            return run_suites(
+                configs, workloads=workloads, max_workers=max_workers, metrics=sink
+            )
         return run_suites(
-            configs, workloads=workloads, cache=cache, max_workers=max_workers
+            configs,
+            workloads=workloads,
+            cache=cache,
+            max_workers=max_workers,
+            metrics=sink,
         )
 
+    run.metrics = sink  # type: ignore[attr-defined]
     return run
+
+
+def _screened_rung0(
+    screen: "AnalyticalScreen",
+    alive: Sequence[Candidate],
+    baseline: SystemConfig,
+    workloads: Sequence[Workload],
+    keep_fraction: float,
+    runner: Runner,
+) -> Tuple[List[ScoredCandidate], List[ScoredCandidate], Dict[str, object], int]:
+    """Run rung 0 behind the analytical screen.
+
+    Returns ``(scored, survivors, screen summary, rung pairs)``.  Only
+    the ambiguous candidates (plus the baseline) are simulated; definite
+    promotions and eliminations carry analytical scores/objectives and
+    ``source="analytical"``.  The promotion slots left after the
+    definite-ins are filled from the ambiguous candidates' *simulated*
+    ranking, so a screened search promotes exactly the candidates the
+    unscreened search would — provided the calibrated band holds.
+    """
+    keep = promotion_count(len(alive), keep_fraction)
+    outcome = screen.classify(alive, keep)
+    by_name = {candidate.name: candidate for candidate in alive}
+    ambiguous = [by_name[name] for name in outcome.ambiguous]
+    scored_ambiguous = (
+        evaluate_rung(ambiguous, baseline, workloads, 0, runner) if ambiguous else []
+    )
+    analytical = {
+        name: ScoredCandidate(
+            candidate=by_name[name],
+            score=outcome.scores[name],
+            objectives=screen.objectives(by_name[name]),
+            rung=0,
+            source="analytical",
+        )
+        for name in outcome.definite_in + outcome.screened_out
+    }
+    need = max(0, keep - len(outcome.definite_in))
+    ranked_ambiguous = sorted(
+        scored_ambiguous, key=lambda item: (-item.score, item.candidate.name)
+    )
+    survivors = [analytical[name] for name in outcome.definite_in]
+    survivors += ranked_ambiguous[:need]
+    scored = list(analytical.values()) + scored_ambiguous
+    pairs = (len(ambiguous) + 1) * len(workloads) if ambiguous else 0
+    return scored, survivors, outcome.to_dict(), pairs
 
 
 def successive_halving(
@@ -218,6 +292,7 @@ def successive_halving(
     rungs: Sequence[Tuple[str, Sequence[Workload]]],
     keep_fraction: float = 0.5,
     runner: Optional[Runner] = None,
+    screen: Optional["AnalyticalScreen"] = None,
 ) -> HalvingResult:
     """Run the successive-halving search.
 
@@ -227,11 +302,24 @@ def successive_halving(
     rung.  A candidate's final score is the one from the last rung it
     reached.  Rung boundaries are barriers by design: promotion needs all
     of a rung's scores before any next-rung work starts.
+
+    ``screen``, when given (see :class:`repro.explore.analytical.
+    AnalyticalScreen`), screens rung 0: analytically-certain promotions
+    and eliminations skip the exact simulator, only band-ambiguous
+    candidates simulate.  The screen applies only when there is a later
+    rung to verify survivors on — a single-rung search always simulates.
+
+    Rung cost accounting is scoped to the runner's private metrics sink
+    when it has one (``default_runner`` always does), falling back to the
+    process-global :data:`~repro.parallel.metrics.GLOBAL_METRICS`; an
+    unrelated suite run interleaving with the sweep therefore cannot
+    distort the per-rung ``simulated``/``cached`` deltas.
     """
     if not rungs:
         raise ValueError("successive halving needs at least one rung")
     if runner is None:
         runner = default_runner()
+    sink = getattr(runner, "metrics", None) or GLOBAL_METRICS
 
     alive = list(candidates)
     final_score: Dict[str, ScoredCandidate] = {}
@@ -239,17 +327,24 @@ def successive_halving(
     stats: List[RungStats] = []
     last = len(rungs) - 1
     for rung, (label, workloads) in enumerate(rungs):
-        before = _metrics_snapshot()
+        before = _metrics_snapshot(sink)
         wall_start = time.time()
-        scored = evaluate_rung(alive, baseline, workloads, rung, runner)
+        screen_summary: Optional[Dict[str, object]] = None
+        if screen is not None and rung == 0 and last > 0:
+            scored, survivors, screen_summary, rung_pairs = _screened_rung0(
+                screen, alive, baseline, workloads, keep_fraction, runner
+            )
+        else:
+            scored = evaluate_rung(alive, baseline, workloads, rung, runner)
+            survivors = (
+                select_survivors(scored, keep_fraction) if rung != last else
+                sorted(scored, key=lambda item: (-item.score, item.candidate.name))
+            )
+            rung_pairs = (len(alive) + 1) * len(workloads)
         wall = time.time() - wall_start
-        after = _metrics_snapshot()
+        after = _metrics_snapshot(sink)
         for item in scored:
             final_score[item.candidate.name] = item
-        survivors = (
-            select_survivors(scored, keep_fraction) if rung != last else
-            sorted(scored, key=lambda item: (-item.score, item.candidate.name))
-        )
         survivor_names = {item.candidate.name for item in survivors}
         cut = [item for item in scored if item.candidate.name not in survivor_names]
         eliminated_by_rung.append(
@@ -263,11 +358,12 @@ def successive_halving(
                 label=label,
                 candidates=len(alive),
                 promoted=len(survivors) if rung != last else len(scored),
-                pairs=(len(alive) + 1) * len(workloads),
-                simulated=max(0, pairs_delta - cached_delta),
+                pairs=rung_pairs,
+                simulated=pairs_delta - cached_delta,
                 cached=cached_delta,
                 wall_seconds=wall,
                 sim_seconds=after[3] - before[3],
+                screen=screen_summary,
             )
         )
         alive = [item.candidate for item in survivors]

@@ -104,11 +104,15 @@ class CrossoverResult:
     """Outcome of bisecting an axis for a sign change of an advantage.
 
     ``estimate`` is the smallest axis value at which the advantage is
-    non-negative (to within ``tolerance``); ``bracketed`` records whether
-    a genuine sign change was found inside ``(lo, hi)``.  When system A
-    already wins at ``lo`` the estimate is ``lo`` (the true threshold
-    lies at or below the probed range); when A still loses at ``hi`` the
-    estimate is None.
+    non-negative (to within ``tolerance``) — set only when a genuine sign
+    change was bracketed inside ``[lo, hi]`` (``bracketed`` True,
+    ``status`` "bracketed").  When both endpoints have the same sign
+    there is **no crossover in range** and the estimate is None; the
+    ``status`` says which way ("always_ahead": A wins at both ends, the
+    true threshold lies at or below ``lo``; "never_ahead": A loses at
+    both ends).  A decreasing sign pattern ("non_monotone") violates the
+    finder's monotonicity assumption and is reported rather than
+    bisected.  The endpoint advantages are always in ``samples``.
     """
 
     axis: str
@@ -119,11 +123,19 @@ class CrossoverResult:
     tolerance: float
     #: Every ``(value, advantage)`` probe, in evaluation order.
     samples: Tuple[Tuple[float, float], ...]
+    #: "bracketed" | "always_ahead" | "never_ahead" | "non_monotone".
+    status: str = "bracketed"
 
     @property
     def evaluations(self) -> int:
         """Number of advantage evaluations spent."""
         return len(self.samples)
+
+    @property
+    def endpoint_advantages(self) -> Tuple[float, float]:
+        """The probed advantages at ``lo`` and ``hi``."""
+        by_value = dict(self.samples)
+        return by_value[self.lo], by_value[self.hi]
 
     def to_dict(self) -> Dict[str, object]:
         """JSON form for sweep artifacts."""
@@ -133,6 +145,7 @@ class CrossoverResult:
             "hi": self.hi,
             "estimate": self.estimate,
             "bracketed": self.bracketed,
+            "status": self.status,
             "tolerance": self.tolerance,
             "evaluations": self.evaluations,
             "samples": [[value, advantage] for value, advantage in self.samples],
@@ -152,9 +165,12 @@ def bisect_crossover(
     ``advantage(x)`` is system A's edge over the reference at axis value
     ``x`` (positive means A wins).  Classic bisection: keep an interval
     with ``advantage < 0`` at the low end and ``>= 0`` at the high end,
-    halve until it is narrower than ``tolerance``.  Degenerate inputs are
-    reported rather than raised — an un-bracketed search is a finding
-    ("A wins everywhere probed"), not an error.
+    halve until it is narrower than ``tolerance``.  Both endpoints are
+    always probed first; when their signs do not bracket a crossover the
+    result reports "no crossover in range" (with the endpoint advantages
+    in ``samples``) instead of bisecting to an arbitrary boundary value.
+    Degenerate inputs are reported rather than raised — an un-bracketed
+    search is a finding ("A wins everywhere probed"), not an error.
     """
     if not lo < hi:
         raise ValueError(f"need lo < hi, got [{lo}, {hi}]")
@@ -168,16 +184,17 @@ def bisect_crossover(
         return value
 
     f_lo = probe(lo)
-    if f_lo >= 0:
-        return CrossoverResult(
-            axis=axis, lo=lo, hi=hi, estimate=lo, bracketed=False,
-            tolerance=tolerance, samples=tuple(samples),
-        )
     f_hi = probe(hi)
-    if f_hi < 0:
+    if f_lo >= 0 or f_hi < 0:
+        if f_lo >= 0 and f_hi >= 0:
+            status = "always_ahead"
+        elif f_lo < 0 and f_hi < 0:
+            status = "never_ahead"
+        else:
+            status = "non_monotone"
         return CrossoverResult(
             axis=axis, lo=lo, hi=hi, estimate=None, bracketed=False,
-            tolerance=tolerance, samples=tuple(samples),
+            tolerance=tolerance, samples=tuple(samples), status=status,
         )
     low, high = lo, hi
     for _ in range(max_iterations):

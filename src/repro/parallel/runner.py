@@ -142,6 +142,7 @@ def run_suite_parallel(
     cache=None,
     progress=None,
     stats: Optional[Dict[str, int]] = None,
+    metrics=None,
 ) -> List[Dict[str, SimResult]]:
     """Simulate every (workload, config) pair over a process pool.
 
@@ -159,7 +160,10 @@ def run_suite_parallel(
     ``"cached_slots"`` entry: the number of output slots filled without a
     dedicated simulation (cache hits plus duplicate-pair fan-outs), which
     the batch accounting needs because duplicated configurations make the
-    slot count exceed the unique-pair count.
+    slot count exceed the unique-pair count.  ``metrics``, when given, is
+    a private :class:`~repro.parallel.metrics.SuiteMetrics` sink that
+    mirrors the per-simulation records the process-wide ``GLOBAL_METRICS``
+    receives (see :func:`repro.experiments.common.run_suites`).
     """
     configs = list(configs)
     workload_list = list(workloads) if workloads is not None else suite_workloads()
@@ -232,6 +236,8 @@ def run_suite_parallel(
                     from .metrics import GLOBAL_METRICS
 
                     GLOBAL_METRICS.record_sim(result.system_name, sim_seconds)
+                    if metrics is not None:
+                        metrics.record_sim(result.system_name, sim_seconds)
                     if summary is not None:
                         GLOBAL_METRICS.record_telemetry(summary)
                     _record(futures[future], result)
@@ -243,7 +249,10 @@ def run_suite_parallel(
         telemetry = Telemetry() if profiling_enabled() else None
         start = time.time()
         result = Simulator(config, telemetry=telemetry).run(workload)
-        GLOBAL_METRICS.record_sim(result.system_name, time.time() - start)
+        sim_seconds = time.time() - start
+        GLOBAL_METRICS.record_sim(result.system_name, sim_seconds)
+        if metrics is not None:
+            metrics.record_sim(result.system_name, sim_seconds)
         if telemetry is not None:
             GLOBAL_METRICS.record_telemetry(telemetry.summary())
         if cache is not None:

@@ -15,6 +15,14 @@ tiers):
    bless/compare workflow and per-metric drift reports.
 """
 
+from .analytical import (
+    Calibration,
+    CalibrationError,
+    ClassBand,
+    fit_calibration,
+    golden_prediction_rows,
+    load_calibration,
+)
 from .fidelity import FidelityCheck, evaluate_checks, run_fidelity
 from .golden import DriftReport, GoldenStore, bless, compare, run_golden_matrix
 from .invariants import (
@@ -28,6 +36,9 @@ from .invariants import (
 from .properties import PropertyOutcome, micro_suite, run_properties
 
 __all__ = [
+    "Calibration",
+    "CalibrationError",
+    "ClassBand",
     "DriftReport",
     "FidelityCheck",
     "GoldenStore",
@@ -40,6 +51,9 @@ __all__ = [
     "check_result",
     "compare",
     "evaluate_checks",
+    "fit_calibration",
+    "golden_prediction_rows",
+    "load_calibration",
     "micro_suite",
     "run_fidelity",
     "run_golden_matrix",

@@ -1,0 +1,446 @@
+"""Calibration of the analytical predictor against the exact simulator.
+
+The analytical tier (:mod:`repro.core.analytical`) is only useful as a
+rung-0 screen if its error is *known*.  This module measures that error
+in two ways and freezes both into a blessed artifact
+(``golden/analytical.json`` at the repo root):
+
+* **Per-class cycle bands** — for every pair in the golden store
+  (:mod:`repro.validate.golden`), compare predicted to simulated cycles
+  and fit, per paper workload class, a multiplicative scale (geometric
+  mean of sim/pred) plus a log-space band covering the worst residual.
+  These quantify absolute fidelity and anchor the calibration to the
+  same snapshot that gates model drift.
+
+* **Per-sweep score bands** — the screen's only decisions are
+  *pairwise*: it compares candidates of one sweep against each other
+  (the promotion cutoff is itself a candidate's score), so any error
+  component shared by every candidate — the baseline's prediction bias,
+  a per-workload cycle scale — shifts all log scores equally and
+  cancels.  Each band is therefore fitted on *centered* residuals over
+  the grid it will actually screen: the fit simulates every built-in
+  sweep's own rung-0 candidates on its own rung-0 workload suite
+  (thinned deterministically for the 54-point ``wide`` plane and the
+  expensive full-scale rung), subtracts each (sweep, rung) group's mean
+  log error, and blesses the worst centered residual per sweep, padded
+  with a safety factor.  A centered band of ``b`` guarantees the
+  relative error between any two candidates of one sweep is at most
+  ``2b`` — exactly the gap the router's conservative classification
+  uses.  The artifact keeps one band per (sweep, rung-0 suite) — the
+  model's error profile shifts with workload scale, so a band fitted at
+  one scale is never applied at another — plus the widest as
+  ``score_band`` for ad-hoc screens; asking for an unfitted rung is a
+  :class:`CalibrationError`, not a fallback.
+
+The successive-halving router (`repro.explore.analytical`) treats the
+blessed band as a hard uncertainty radius: candidates within the band
+of the promotion cutoff are never screened out analytically.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.analytical import predict_cycles, predict_suite_score
+from ..core.config import MODEL_REV
+from ..workloads.characterize import cached_profile
+from ..workloads.suite import spec_by_name
+from .golden import GoldenStore, golden_configs, golden_workloads, run_golden_matrix
+
+#: Artifact schema revision.
+CALIBRATION_VERSION = 2
+
+#: Built-in sweeps whose rung-0 grids the score fit simulates (every
+#: sweep the router can screen).
+SCREENED_SWEEPS = ("link_l15", "page_place", "gpm_count", "smoke", "wide")
+
+#: Candidate thinning strides: the 54-point ``wide`` grid and the
+#: full-scale (0.25x) rung keep every Nth point plus both endpoints.
+#: The full-rung stride is coprime with the sweeps' fastest-varying axis
+#: lengths, so the thinned sample still spans every axis.
+WIDE_GRID_STRIDE = 4
+FULL_RUNG_STRIDE = 4
+
+
+def score_band_key(sweep_name: str, rung_label: str) -> str:
+    """Artifact key of one (sweep, rung-0 suite) score band."""
+    return f"{sweep_name}|{rung_label}"
+
+#: Multiplicative safety pad and absolute floor on fitted log bands.
+#: The simulator and predictor are both deterministic and the score fit
+#: covers the exact grids the router screens, so the floor only guards
+#: the thinned-grid interpolation (``wide``, the full-scale rung).
+BAND_SAFETY = 1.25
+BAND_FLOOR = 0.01
+
+
+class CalibrationError(RuntimeError):
+    """A calibration artifact is missing, malformed, or stale."""
+
+
+def default_calibration_path() -> Path:
+    """``golden/analytical.json`` at the repository root."""
+    return Path(__file__).resolve().parents[3] / "golden" / "analytical.json"
+
+
+@dataclass(frozen=True)
+class ClassBand:
+    """Fitted cycle-accuracy envelope for one paper workload class."""
+
+    #: Multiplicative correction: simulated ~= scale * predicted cycles.
+    cycles_scale: float
+    #: Log-space half-width covering every residual after scaling.
+    cycles_band: float
+    #: (workload, config) pairs the fit saw.
+    pairs: int
+
+    def covers(self, predicted_cycles: float, simulated_cycles: float) -> bool:
+        """True when the pair's residual lies inside the blessed band."""
+        residual = abs(math.log(simulated_cycles / (self.cycles_scale * predicted_cycles)))
+        return residual <= self.cycles_band
+
+
+@dataclass
+class Calibration:
+    """Blessed analytical-error artifact (see module docstring)."""
+
+    model_rev: int
+    #: Widest fitted score band (informational; ad-hoc screens without a
+    #: band key classify with it).
+    score_band: float
+    classes: Dict[str, ClassBand] = field(default_factory=dict)
+    #: Per-(sweep, rung-0 suite) score bands, keyed by
+    #: :func:`score_band_key` (log-space half-widths).
+    score_bands: Dict[str, float] = field(default_factory=dict)
+    version: int = CALIBRATION_VERSION
+    note: str = ""
+
+    def band_for_sweep(self, band_key: str) -> float:
+        """Score band for one (sweep, rung) — see :func:`score_band_key`.
+
+        Raises :class:`CalibrationError` when the fit never covered that
+        rung (e.g. a full-scale sweep against a ``--fast`` blessing):
+        screening with a band fitted at a different workload scale would
+        void the conservative contract.
+        """
+        if band_key in self.score_bands:
+            return self.score_bands[band_key]
+        known = ", ".join(sorted(self.score_bands)) or "(none)"
+        raise CalibrationError(
+            f"calibration has no score band for {band_key!r} "
+            f"(fitted: {known}); re-bless with "
+            "`python scripts/calibrate.py --analytical --bless` "
+            "(without --fast for full-scale rungs)"
+        )
+
+    def band_for(self, class_name: str) -> ClassBand:
+        """Per-class band, falling back to the widest fitted class."""
+        if class_name in self.classes:
+            return self.classes[class_name]
+        if not self.classes:
+            raise CalibrationError("calibration has no fitted classes")
+        widest = max(self.classes.values(), key=lambda band: band.cycles_band)
+        return ClassBand(cycles_scale=1.0, cycles_band=widest.cycles_band, pairs=0)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON payload (sorted on save for byte-stable artifacts)."""
+        return {
+            "version": self.version,
+            "model_rev": self.model_rev,
+            "score_band": self.score_band,
+            "score_bands": dict(self.score_bands),
+            "note": self.note,
+            "classes": {
+                name: {
+                    "cycles_scale": band.cycles_scale,
+                    "cycles_band": band.cycles_band,
+                    "pairs": band.pairs,
+                }
+                for name, band in self.classes.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Calibration":
+        """Inverse of :meth:`to_dict`."""
+        classes = {
+            str(name): ClassBand(
+                cycles_scale=float(entry["cycles_scale"]),
+                cycles_band=float(entry["cycles_band"]),
+                pairs=int(entry["pairs"]),
+            )
+            for name, entry in dict(payload.get("classes", {})).items()
+        }
+        return cls(
+            model_rev=int(payload["model_rev"]),
+            score_band=float(payload["score_band"]),
+            classes=classes,
+            score_bands={
+                str(name): float(band)
+                for name, band in dict(payload.get("score_bands", {})).items()
+            },
+            version=int(payload.get("version", CALIBRATION_VERSION)),
+            note=str(payload.get("note", "")),
+        )
+
+    def save(self, path: Optional[Path] = None) -> Path:
+        """Bless this calibration to disk (atomic replace)."""
+        path = Path(path) if path is not None else default_calibration_path()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        tmp.replace(path)
+        return path
+
+
+def load_calibration(path: Optional[Path] = None) -> Calibration:
+    """Load and validate a blessed calibration artifact.
+
+    Raises :class:`CalibrationError` when the artifact is missing or was
+    fitted against a different :data:`~repro.core.config.MODEL_REV` —
+    stale error bands would make the "conservative" screen a lie.
+    """
+    path = Path(path) if path is not None else default_calibration_path()
+    if not path.is_file():
+        raise CalibrationError(
+            f"no analytical calibration at {path}; "
+            "run `python scripts/calibrate.py --analytical --bless` first"
+        )
+    with open(path) as handle:
+        payload = json.load(handle)
+    calibration = Calibration.from_dict(payload)
+    if calibration.model_rev != MODEL_REV:
+        raise CalibrationError(
+            f"calibration at {path} was fitted for model rev "
+            f"r{calibration.model_rev}, current is r{MODEL_REV}; "
+            "re-run `python scripts/calibrate.py --analytical --bless`"
+        )
+    return calibration
+
+
+# ---------------------------------------------------------------------------
+# Fitting
+# ---------------------------------------------------------------------------
+
+
+def workload_class(workload_name: str) -> str:
+    """Paper category (e.g. "M-Intensive") of a suite workload."""
+    return spec_by_name(workload_name).category.value
+
+
+def _thin(items: Sequence, stride: int) -> List:
+    """Every ``stride``-th item, with both endpoints always kept."""
+    if stride <= 1 or len(items) <= 2:
+        return list(items)
+    picked = list(items[::stride])
+    if picked[-1] is not items[-1]:
+        picked.append(items[-1])
+    return picked
+
+
+def _score_matrix_entries(
+    fast: bool,
+) -> List[Tuple[str, str, object, List, List]]:
+    """``(family, rung label, baseline, workloads, candidates)`` per fit group.
+
+    One entry per (screened built-in sweep, rung-0 scale): the fit
+    simulates each sweep's *own* candidate grid on its *own* rung-0
+    workload suite, so the blessed band covers exactly the comparisons
+    the router will make.  Fast mode fits only the ``--fast`` rung-0
+    scale (0.0625x); full mode adds the 0.25x rung with a thinned grid
+    (:data:`FULL_RUNG_STRIDE`).  The 54-point ``wide`` grid is always
+    thinned (:data:`WIDE_GRID_STRIDE`) — its endpoints and every Nth
+    interior point stand in for the plane.
+
+    The unscreened crossover presets (``optimized_mcm_gpu``,
+    ``multi_gpu``) are deliberately absent: the router never routes them
+    through the screen, and their board-link error would inflate the
+    bands for no routing benefit.  Their absolute fidelity is still
+    tracked by the per-class golden cycle bands.
+    """
+    # Imported lazily: repro.explore.analytical imports this module.
+    from ..explore.builtin import build_plan
+
+    entries: List[Tuple[str, str, object, List, List]] = []
+    seen = set()
+    for fast_mode in (True,) if fast else (True, False):
+        for family in SCREENED_SWEEPS:
+            plan = build_plan(family, fast=fast_mode)
+            label, workloads = plan.rungs[0]
+            if (family, label) in seen:  # smoke's rungs ignore fast
+                continue
+            seen.add((family, label))
+            candidates = plan.spec.candidates()
+            if family == "wide":
+                candidates = _thin(candidates, WIDE_GRID_STRIDE)
+            if not fast_mode:
+                candidates = _thin(candidates, FULL_RUNG_STRIDE)
+            entries.append((family, label, plan.baseline, list(workloads), candidates))
+    return entries
+
+
+def golden_prediction_rows(calibration: Optional[Calibration] = None) -> List[Dict[str, object]]:
+    """Predicted vs golden-store cycles for every golden pair.
+
+    Each row carries the pair key, workload class, both cycle figures and
+    the log residual; when ``calibration`` is given, the residual after
+    its class scale and whether the blessed band covers it.  Used by the
+    calibration report and the prediction-vs-golden test.
+    """
+    store = GoldenStore()
+    if store.exists():
+        entries = store.load().get("entries", {})
+        sim_cycles = {
+            key: float(entry["metrics"]["cycles"]) for key, entry in entries.items()
+        }
+    else:
+        sim_cycles = {
+            GoldenStore.key(r.workload_name, r.system_name): float(r.cycles)
+            for r in run_golden_matrix()
+        }
+    profiles = {w.name: cached_profile(w) for w in golden_workloads()}
+    rows: List[Dict[str, object]] = []
+    for config in golden_configs():
+        for name, profile in sorted(profiles.items()):
+            key = GoldenStore.key(name, config.name)
+            if key not in sim_cycles:
+                continue
+            predicted = predict_cycles(profile, config).cycles
+            simulated = sim_cycles[key]
+            row: Dict[str, object] = {
+                "key": key,
+                "class": workload_class(name),
+                "predicted_cycles": predicted,
+                "simulated_cycles": simulated,
+                "log_error": math.log(simulated / predicted),
+            }
+            if calibration is not None:
+                band = calibration.band_for(row["class"])
+                row["scaled_residual"] = math.log(
+                    simulated / (band.cycles_scale * predicted)
+                )
+                row["within_band"] = band.covers(predicted, simulated)
+            rows.append(row)
+    return rows
+
+
+def _fit_class_bands(rows: Sequence[Dict[str, object]]) -> Dict[str, ClassBand]:
+    grouped: Dict[str, List[float]] = {}
+    for row in rows:
+        grouped.setdefault(str(row["class"]), []).append(float(row["log_error"]))
+    classes: Dict[str, ClassBand] = {}
+    for name, errors in sorted(grouped.items()):
+        mean = sum(errors) / len(errors)
+        worst = max(abs(err - mean) for err in errors)
+        classes[name] = ClassBand(
+            cycles_scale=math.exp(mean),
+            cycles_band=max(BAND_FLOOR, worst * BAND_SAFETY),
+            pairs=len(errors),
+        )
+    return classes
+
+
+def score_matrix_rows(
+    fast: bool = False,
+    max_workers: Optional[int] = None,
+) -> List[Dict[str, object]]:
+    """Simulated vs predicted rung-0 scores on every screened sweep grid.
+
+    Scores are exactly what the router compares: geomean speedup of each
+    candidate over the sweep's baseline on its rung-0 workload suite,
+    simulated vs :func:`~repro.core.analytical.predict_suite_score`.
+    """
+    from ..analysis.speedup import geomean
+    from ..experiments.common import run_suites
+
+    rows: List[Dict[str, object]] = []
+    for family, label, baseline, workloads, candidates in _score_matrix_entries(fast):
+        profiles = [cached_profile(w) for w in workloads]
+        suites = run_suites(
+            [baseline] + [candidate.config for candidate in candidates],
+            workloads=workloads,
+            max_workers=max_workers,
+        )
+        base_suite = suites[0]
+        for candidate, suite in zip(candidates, suites[1:]):
+            sim_score = geomean(
+                base_suite[w.name].cycles / suite[w.name].cycles for w in workloads
+            )
+            pred_score = predict_suite_score(profiles, candidate.config, baseline)
+            rows.append(
+                {
+                    "candidate": candidate.name,
+                    "family": family,
+                    "rung": label,
+                    "sim_score": sim_score,
+                    "pred_score": pred_score,
+                    "log_error": math.log(sim_score / pred_score),
+                }
+            )
+    return rows
+
+
+def _centered_residuals_by_band(
+    rows: Sequence[Dict[str, object]],
+) -> Dict[str, List[float]]:
+    """Per-band-key log residuals after removing each group's mean.
+
+    The group mean is the common-mode component every candidate of one
+    sweep rung shares — invisible to the router's pairwise
+    classification (see module docstring) — so only the centered spread
+    needs covering by the blessed band.  Groups are exactly the
+    :func:`score_band_key` units the router looks up: the model's error
+    profile shifts with workload scale, so one sweep's fast and full
+    rungs get independent bands.
+    """
+    grouped: Dict[str, List[float]] = {}
+    for row in rows:
+        key = score_band_key(str(row["family"]), str(row["rung"]))
+        grouped.setdefault(key, []).append(float(row["log_error"]))
+    centered: Dict[str, List[float]] = {}
+    for key, errors in grouped.items():
+        mean = sum(errors) / len(errors)
+        centered[key] = [err - mean for err in errors]
+    return centered
+
+
+def fit_calibration(
+    fast: bool = False,
+    max_workers: Optional[int] = None,
+    note: str = "",
+) -> Tuple[Calibration, Dict[str, List[Dict[str, object]]]]:
+    """Fit a fresh :class:`Calibration` against the exact simulator.
+
+    Returns the calibration plus the raw fit rows (``golden`` cycle pairs
+    and ``scores`` matrix) for reporting.  ``fast`` restricts the score
+    matrix to the smallest workload scale.
+    """
+    golden_rows = golden_prediction_rows()
+    if not golden_rows:
+        raise CalibrationError(
+            "golden store is empty; bless it first (scripts/validate.py golden --bless)"
+        )
+    classes = _fit_class_bands(golden_rows)
+    score_rows = score_matrix_rows(fast=fast, max_workers=max_workers)
+    score_bands = {
+        key: max(BAND_FLOOR, max(abs(r) for r in residuals) * BAND_SAFETY)
+        for key, residuals in sorted(_centered_residuals_by_band(score_rows).items())
+    }
+    calibration = Calibration(
+        model_rev=MODEL_REV,
+        score_band=max(score_bands.values()),
+        classes=classes,
+        score_bands=score_bands,
+        note=note
+        or (
+            f"fit on {len(golden_rows)} golden pairs, "
+            f"{len(score_rows)} score points ({'fast' if fast else 'full'})"
+        ),
+    )
+    return calibration, {"golden": golden_rows, "scores": score_rows}

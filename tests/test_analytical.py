@@ -3,10 +3,13 @@
 import pytest
 
 from repro.core.analytical import (
+    average_hops,
     expected_slowdown_bound,
     required_link_bandwidth,
     ring_average_hops,
     supply_bandwidth_per_partition,
+    topology_link_count,
+    topology_ports,
 )
 
 
@@ -34,6 +37,31 @@ class TestRingHops:
         assert ring_average_hops(1) == 0.0
 
 
+class TestTopologyCounts:
+    def test_ring_ports_and_links(self):
+        assert topology_ports(4) == 4
+        assert topology_link_count(4) == 8
+        # The degenerate two-node "ring" has one neighbor pair.
+        assert topology_ports(2) == 2
+        assert topology_link_count(2) == 2
+        assert topology_ports(1) == 0
+        assert topology_link_count(1) == 0
+
+    def test_fully_connected_ports_and_links(self):
+        assert topology_ports(4, "fully_connected") == 6
+        assert topology_link_count(4, "fully_connected") == 12
+        assert average_hops(4, "fully_connected") == 1.0
+        assert average_hops(1, "fully_connected") == 0.0
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError, match="topology"):
+            topology_ports(4, "torus")
+        with pytest.raises(ValueError, match="topology"):
+            topology_link_count(4, "torus")
+        with pytest.raises(ValueError, match="topology"):
+            average_hops(4, "torus")
+
+
 class TestRequiredBandwidth:
     def test_paper_example_4b(self):
         """Section 3.3.1: 4 GPMs, b=768 GB/s, h=50% -> 4b per-GPM demand."""
@@ -41,6 +69,32 @@ class TestRequiredBandwidth:
         assert req.per_gpm_link_demand == pytest.approx(4 * 768.0)
         assert req.egress_per_gpm == pytest.approx(1.5 * 768.0)
         assert req.ingress_per_gpm == req.egress_per_gpm
+        assert req.n_links == 8
+        assert req.ports_per_gpm == 4
+
+    def test_two_node_ring_regression(self):
+        # Regression: the model hard-coded 2n directional links and 4
+        # ports per GPM, as if every ring had two distinct neighbors.  A
+        # 2-node ring has a single neighbor pair, so each GPM's entire
+        # egress rides one directional link (per-link volume used to come
+        # out halved).
+        req = required_link_bandwidth(2, 768.0, 0.5)
+        assert req.n_links == 2
+        assert req.ports_per_gpm == 2
+        assert req.per_link_volume == pytest.approx(req.egress_per_gpm)
+        assert req.per_gpm_link_demand == pytest.approx(
+            req.egress_per_gpm + req.ingress_per_gpm
+        )
+
+    def test_fully_connected_has_no_passthrough(self):
+        # Single-hop delivery: per-GPM demand is exactly egress + ingress,
+        # strictly below the ring's (which adds pass-through hops).
+        fc = required_link_bandwidth(4, 768.0, 0.5, topology="fully_connected")
+        assert fc.per_gpm_link_demand == pytest.approx(
+            fc.egress_per_gpm + fc.ingress_per_gpm
+        )
+        ring = required_link_bandwidth(4, 768.0, 0.5)
+        assert fc.per_gpm_link_demand < ring.per_gpm_link_demand
 
     def test_single_gpm_needs_nothing(self):
         req = required_link_bandwidth(1, 768.0, 0.5)

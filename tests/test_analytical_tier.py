@@ -1,0 +1,363 @@
+"""Tests for the calibrated analytical tier and its rung-0 screen.
+
+Covers the three contracts the tier rests on:
+
+* the blessed artifact's per-class cycle bands cover every golden pair;
+* the conservative-screen property — a screened successive-halving run
+  promotes exactly the candidates the unscreened run would, whenever the
+  band covers the rung-0 prediction error (here fitted on the spot, so
+  the property holds by construction);
+* the calibration artifact round-trips through disk and refuses stale
+  model revisions, missing files, and unfitted band keys.
+"""
+
+import math
+
+import pytest
+
+from repro.core.analytical import predict_suite_score
+from repro.core.config import MODEL_REV
+from repro.core.presets import baseline_mcm_gpu, mcm_gpu_with_l15
+from repro.experiments.common import ResultCache
+from repro.explore.analytical import AnalyticalScreen
+from repro.explore.builtin import build_plan, screen_for_plan
+from repro.explore.search import (
+    default_runner,
+    evaluate_rung,
+    promotion_count,
+    successive_halving,
+)
+from repro.explore.spec import Axis, SweepSpec
+from repro.validate.analytical import (
+    BAND_SAFETY,
+    Calibration,
+    CalibrationError,
+    ClassBand,
+    golden_prediction_rows,
+    load_calibration,
+    score_band_key,
+)
+from repro.workloads.characterize import cached_profile
+from repro.workloads.suite import spec_by_name
+from repro.workloads.synthetic import Category, SyntheticWorkload, WorkloadSpec
+
+
+def tiny_workload(name, pattern="streaming", n_ctas=16):
+    return SyntheticWorkload(
+        WorkloadSpec(
+            name=name,
+            category=Category.M_INTENSIVE,
+            pattern=pattern,
+            n_ctas=n_ctas,
+            groups_per_cta=2,
+            records_per_group=2,
+            accesses_per_record=2,
+            kernel_iterations=1,
+            footprint_bytes=256 * 1024,
+        )
+    )
+
+
+def tiny_link_plan():
+    """A shrunken link_l15-style sweep: link axis on a tiny L1.5+FT base."""
+    base = mcm_gpu_with_l15(
+        16,
+        remote_only=True,
+        scheduler="distributed",
+        placement="first_touch",
+        n_gpms=4,
+        sms_per_gpm=2,
+        name="tier-base",
+    )
+    spec = SweepSpec(
+        name="tier",
+        base=base,
+        axes=(Axis("link_bandwidth", (96.0, 192.0, 768.0, 1536.0), label="link"),),
+    )
+    baseline = baseline_mcm_gpu(n_gpms=4, sms_per_gpm=2, name="tier-baseline")
+    rungs = [
+        ("rung0", [tiny_workload("tier-a"), tiny_workload("tier-b", "irregular")]),
+        ("rung1", [tiny_workload("tier-a", n_ctas=32), tiny_workload("tier-b", "irregular", n_ctas=32)]),
+    ]
+    return spec, baseline, rungs
+
+
+def fit_band_calibration(candidates, baseline, workloads, band_key, runner):
+    """Truth-fitted Calibration for one rung: covers the centered residuals."""
+    profiles = [cached_profile(w) for w in workloads]
+    preds = {
+        c.name: predict_suite_score(profiles, c.config, baseline) for c in candidates
+    }
+    sims = {
+        item.candidate.name: item.score
+        for item in evaluate_rung(candidates, baseline, workloads, 0, runner)
+    }
+    residuals = [math.log(sims[name] / preds[name]) for name in preds]
+    mean = sum(residuals) / len(residuals)
+    worst = max(abs(r - mean) for r in residuals)
+    band = max(1e-6, worst * BAND_SAFETY)
+    return Calibration(
+        model_rev=MODEL_REV,
+        score_band=band,
+        classes={"M-Intensive": ClassBand(cycles_scale=1.0, cycles_band=1.0, pairs=1)},
+        score_bands={band_key: band},
+    )
+
+
+class FixedScoreScreen(AnalyticalScreen):
+    """Screen with injected scores — isolates the classification math."""
+
+    def __init__(self, calibration, scores, band_key=None):
+        super().__init__(
+            calibration,
+            baseline_mcm_gpu(n_gpms=4, sms_per_gpm=2, name="fx-base"),
+            [tiny_workload("fx")],
+            band_key=band_key,
+        )
+        self._scores = scores
+
+    def score(self, candidate):
+        return self._scores[candidate.name]
+
+
+def named_candidates(scores):
+    from repro.explore.spec import Candidate
+
+    base = baseline_mcm_gpu(n_gpms=4, sms_per_gpm=2, name="fx-base")
+    return [Candidate(name=name, config=base, assignment={}) for name in scores]
+
+
+# ----------------------------------------------------------------------
+# Prediction vs golden store, under the blessed artifact
+# ----------------------------------------------------------------------
+
+
+class TestBlessedArtifact:
+    def test_blessed_calibration_loads_for_current_model_rev(self):
+        calibration = load_calibration()
+        assert calibration.model_rev == MODEL_REV
+        assert calibration.classes
+
+    def test_blessed_bands_cover_every_golden_pair(self):
+        calibration = load_calibration()
+        rows = golden_prediction_rows(calibration)
+        assert rows, "golden store is empty"
+        outside = [row["key"] for row in rows if not row["within_band"]]
+        assert not outside, f"golden pairs outside blessed bands: {outside}"
+
+    def test_blessed_bands_cover_the_fast_builtin_rungs(self):
+        # The router refuses unfitted rungs, so the artifact must carry a
+        # band for every built-in sweep's --fast rung 0.
+        calibration = load_calibration()
+        for key in ("link_l15", "page_place", "gpm_count", "smoke", "wide"):
+            plan = build_plan(key, fast=True)
+            band_key = score_band_key(plan.spec.name, plan.rungs[0][0])
+            assert band_key in calibration.score_bands, f"missing {band_key}"
+
+
+# ----------------------------------------------------------------------
+# Classification math
+# ----------------------------------------------------------------------
+
+
+class TestClassification:
+    def make(self, band, scores):
+        calibration = Calibration(
+            model_rev=MODEL_REV,
+            score_band=band,
+            classes={"M-Intensive": ClassBand(1.0, 1.0, 1)},
+            score_bands={"fx|rung0": band},
+        )
+        return FixedScoreScreen(calibration, scores, band_key="fx|rung0")
+
+    def test_clear_separation_decides_everything(self):
+        scores = {"hi": 2.0, "mid": 1.0, "lo": 0.25}
+        screen = self.make(0.05, scores)
+        outcome = screen.classify(named_candidates(scores), keep=1)
+        assert outcome.definite_in == ("hi",)
+        assert outcome.ambiguous == ()
+        assert outcome.screened_out == ("mid", "lo")
+
+    def test_within_band_rivals_stay_ambiguous(self):
+        # 2*band gap: log(1.1/1.0) ~ 0.095 < 2*0.05, so hi/mid overlap.
+        scores = {"hi": 1.1, "mid": 1.0, "lo": 0.25}
+        screen = self.make(0.05, scores)
+        outcome = screen.classify(named_candidates(scores), keep=1)
+        assert set(outcome.ambiguous) == {"hi", "mid"}
+        assert outcome.screened_out == ("lo",)
+
+    def test_huge_band_makes_everything_ambiguous(self):
+        scores = {"hi": 2.0, "mid": 1.0, "lo": 0.25}
+        screen = self.make(5.0, scores)
+        outcome = screen.classify(named_candidates(scores), keep=1)
+        assert set(outcome.ambiguous) == set(scores)
+        assert outcome.definite_in == ()
+        assert outcome.screened_out == ()
+
+    def test_rejects_nonpositive_keep(self):
+        screen = self.make(0.05, {"a": 1.0})
+        with pytest.raises(ValueError, match="keep"):
+            screen.classify(named_candidates({"a": 1.0}), keep=0)
+
+    def test_band_comes_from_the_rung_key(self):
+        calibration = Calibration(
+            model_rev=MODEL_REV,
+            score_band=9.0,
+            classes={"M-Intensive": ClassBand(1.0, 1.0, 1)},
+            score_bands={"fx|rung0": 0.01},
+        )
+        screen = FixedScoreScreen(calibration, {"a": 1.0}, band_key="fx|rung0")
+        assert screen.band == pytest.approx(0.01)
+        # No key -> the artifact's widest band.
+        screen = FixedScoreScreen(calibration, {"a": 1.0})
+        assert screen.band == pytest.approx(9.0)
+
+
+# ----------------------------------------------------------------------
+# Conservative-screen property on real (shrunken) sweeps
+# ----------------------------------------------------------------------
+
+
+class TestConservativeScreen:
+    def check_plan(self, candidates, baseline, rungs, band_key, tmp_path):
+        runner = default_runner(cache=ResultCache(tmp_path / "cache"), max_workers=1)
+        unscreened = successive_halving(
+            candidates, baseline, rungs, keep_fraction=0.5, runner=runner
+        )
+        calibration = fit_band_calibration(
+            candidates, baseline, rungs[0][1], band_key, runner
+        )
+        screen = AnalyticalScreen(
+            calibration, baseline, rungs[0][1], band_key=band_key
+        )
+        # The eventual winner is never screened out at rung 0.
+        outcome = screen.classify(
+            candidates, promotion_count(len(candidates), 0.5)
+        )
+        assert unscreened.best.candidate.name not in outcome.screened_out
+        screened = successive_halving(
+            candidates, baseline, rungs, keep_fraction=0.5, runner=runner, screen=screen
+        )
+        assert screened.survivors == unscreened.survivors
+        final = len(rungs) - 1
+        sim_scores = lambda result: {  # noqa: E731 - tiny helper
+            item.candidate.name: item.score
+            for item in result.ranking
+            if item.rung == final
+        }
+        assert sim_scores(screened) == sim_scores(unscreened)
+        assert screened.rungs[0].pairs <= unscreened.rungs[0].pairs
+        assert screened.rungs[0].screen is not None
+        assert unscreened.rungs[0].screen is None
+        return screened, unscreened
+
+    def test_tiny_link_sweep(self, tmp_path):
+        spec, baseline, rungs = tiny_link_plan()
+        self.check_plan(spec.candidates(), baseline, rungs, "tier|rung0", tmp_path)
+
+    def test_smoke_grid(self, tmp_path):
+        # The real smoke grid and baseline, with a cheaper second rung so
+        # the property check stays test-sized.
+        plan = build_plan("smoke")
+        specs = [spec_by_name(name) for name in ("Stream", "BFS")]
+        rungs = [
+            ("smoke@0.0625", [SyntheticWorkload(s.scaled_down(0.0625)) for s in specs]),
+            ("smoke@0.125", [SyntheticWorkload(s.scaled_down(0.125)) for s in specs]),
+        ]
+        band_key = score_band_key(plan.spec.name, rungs[0][0])
+        self.check_plan(
+            plan.spec.candidates(), plan.baseline, rungs, band_key, tmp_path
+        )
+
+    def test_huge_band_degrades_to_unscreened(self, tmp_path):
+        spec, baseline, rungs = tiny_link_plan()
+        candidates = spec.candidates()
+        runner = default_runner(cache=ResultCache(tmp_path / "cache"), max_workers=1)
+        unscreened = successive_halving(
+            candidates, baseline, rungs, keep_fraction=0.5, runner=runner
+        )
+        calibration = Calibration(
+            model_rev=MODEL_REV,
+            score_band=10.0,
+            classes={"M-Intensive": ClassBand(1.0, 1.0, 1)},
+            score_bands={"tier|rung0": 10.0},
+        )
+        screen = AnalyticalScreen(
+            calibration, baseline, rungs[0][1], band_key="tier|rung0"
+        )
+        screened = successive_halving(
+            candidates, baseline, rungs, keep_fraction=0.5, runner=runner, screen=screen
+        )
+        assert screened.survivors == unscreened.survivors
+        # Everything ambiguous -> the full rung simulates, same pair bill.
+        assert screened.rungs[0].pairs == unscreened.rungs[0].pairs
+        assert screened.rungs[0].screen["ambiguous"] == len(candidates)
+
+    def test_screen_for_plan_binds_the_rung_band_key(self):
+        plan = build_plan("smoke")
+        calibration = Calibration(
+            model_rev=MODEL_REV,
+            score_band=0.5,
+            classes={"M-Intensive": ClassBand(1.0, 1.0, 1)},
+            score_bands={score_band_key("smoke", plan.rungs[0][0]): 0.125},
+        )
+        screen = screen_for_plan(plan, calibration)
+        assert screen.band == pytest.approx(0.125)
+
+
+# ----------------------------------------------------------------------
+# Artifact round-trip and staleness
+# ----------------------------------------------------------------------
+
+
+class TestCalibrationArtifact:
+    def sample(self):
+        return Calibration(
+            model_rev=MODEL_REV,
+            score_band=0.21,
+            classes={
+                "M-Intensive": ClassBand(cycles_scale=1.1, cycles_band=0.3, pairs=8),
+                "C-Intensive": ClassBand(cycles_scale=0.9, cycles_band=0.5, pairs=4),
+            },
+            score_bands={"link_l15|suite@0.0625": 0.01, "smoke|smoke@0.0625": 0.02},
+            note="round-trip test",
+        )
+
+    def test_round_trip_is_lossless(self, tmp_path):
+        calibration = self.sample()
+        path = calibration.save(tmp_path / "analytical.json")
+        loaded = load_calibration(path)
+        assert loaded.to_dict() == calibration.to_dict()
+        assert loaded.band_for_sweep("link_l15|suite@0.0625") == pytest.approx(0.01)
+        band = loaded.band_for("M-Intensive")
+        assert band.covers(100.0, 110.0)
+        assert not band.covers(100.0, 200.0)
+
+    def test_round_trip_preserves_classification(self, tmp_path):
+        calibration = self.sample()
+        loaded = load_calibration(calibration.save(tmp_path / "analytical.json"))
+        scores = {"hi": 1.2, "mid": 1.0, "lo": 0.5}
+        key = "link_l15|suite@0.0625"
+        before = FixedScoreScreen(calibration, scores, band_key=key).classify(
+            named_candidates(scores), keep=1
+        )
+        after = FixedScoreScreen(loaded, scores, band_key=key).classify(
+            named_candidates(scores), keep=1
+        )
+        assert before == after
+
+    def test_missing_artifact_raises(self, tmp_path):
+        with pytest.raises(CalibrationError, match="no analytical calibration"):
+            load_calibration(tmp_path / "nope.json")
+
+    def test_stale_model_rev_raises(self, tmp_path):
+        calibration = self.sample()
+        calibration.model_rev = MODEL_REV + 1
+        path = calibration.save(tmp_path / "analytical.json")
+        with pytest.raises(CalibrationError, match="model rev"):
+            load_calibration(path)
+
+    def test_unfitted_band_key_raises(self):
+        calibration = self.sample()
+        with pytest.raises(CalibrationError, match="no score band"):
+            calibration.band_for_sweep("wide|suite@0.25")

@@ -25,6 +25,7 @@ from repro.explore import (
 from repro.explore.builtin import BUILTIN_SWEEPS, build_plan, run_sweep
 from repro.explore.report import render_text, write_artifacts
 from repro.explore.search import ScoredCandidate
+from repro.parallel.metrics import GLOBAL_METRICS
 from repro.workloads.synthetic import Category, SyntheticWorkload, WorkloadSpec
 
 
@@ -315,6 +316,32 @@ class TestSuccessiveHalving:
         with pytest.raises(ValueError):
             successive_halving(self.candidates(), tiny_base(), [], runner=lambda c, w: [])
 
+    def test_interleaved_suite_runs_do_not_distort_rung_accounting(self, tmp_path):
+        # Regression: rung deltas were read off the process-global
+        # metrics, so an unrelated suite run finishing mid-sweep inflated
+        # ``simulated`` — and a cache-heavy one drove the delta negative,
+        # which a silent max(0, ...) clamp then hid as zero.
+        cache = ResultCache(tmp_path)
+        inner = default_runner(cache=cache, max_workers=1)
+
+        def noisy(configs, workloads):
+            results = inner(configs, workloads)
+            # An unrelated experiment completing elsewhere in the process:
+            # 10 executed pairs, 200 cache-served pairs.
+            GLOBAL_METRICS.record_batch(["elsewhere"], 210, 200, 0.0, 1)
+            return results
+
+        noisy.metrics = inner.metrics
+        result = successive_halving(
+            self.candidates(), tiny_base("hs-baseline"), self.rungs(),
+            keep_fraction=0.5, runner=noisy,
+        )
+        # Cold cache: every rung pair simulated, none cached, no clamping.
+        assert [rung.simulated for rung in result.rungs] == [
+            rung.pairs for rung in result.rungs
+        ]
+        assert all(rung.cached == 0 for rung in result.rungs)
+
 
 # ----------------------------------------------------------------------
 # crossover: bisection on synthetic monotone objectives
@@ -325,19 +352,36 @@ class TestBisectCrossover:
     def test_converges_on_monotone_objective(self):
         result = bisect_crossover(lambda x: x - 3.7, 0.0, 10.0, tolerance=0.01)
         assert result.bracketed
+        assert result.status == "bracketed"
         assert result.estimate == pytest.approx(3.7, abs=0.01)
         # The estimate always sits on the winning side of the bracket.
         assert result.estimate - 3.7 >= -1e-9
 
     def test_already_winning_at_lo(self):
+        # Regression: a positive advantage at ``lo`` used to short-circuit
+        # into ``estimate == lo`` — reporting the arbitrary bracket
+        # boundary as if it were the measured crossover point.  Same-sign
+        # endpoints mean there is no crossover in range; both endpoint
+        # advantages must be probed and reported instead.
         result = bisect_crossover(lambda x: x + 1.0, 0.0, 10.0)
         assert not result.bracketed
-        assert result.estimate == 0.0
-        assert result.evaluations == 1
+        assert result.status == "always_ahead"
+        assert result.estimate is None
+        assert result.evaluations == 2
+        assert result.endpoint_advantages == (1.0, 11.0)
 
     def test_never_winning(self):
         result = bisect_crossover(lambda x: x - 99.0, 0.0, 10.0)
         assert not result.bracketed
+        assert result.status == "never_ahead"
+        assert result.estimate is None
+        assert result.evaluations == 2
+        assert result.endpoint_advantages == (-99.0, -89.0)
+
+    def test_decreasing_advantage_reported_not_bisected(self):
+        result = bisect_crossover(lambda x: 5.0 - x, 0.0, 10.0)
+        assert not result.bracketed
+        assert result.status == "non_monotone"
         assert result.estimate is None
         assert result.evaluations == 2
 

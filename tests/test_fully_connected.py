@@ -123,3 +123,38 @@ class TestSystemIntegration:
 
         with pytest.raises(ValueError, match="topology"):
             replace(baseline_mcm_gpu(name="bad"), topology="torus")
+
+    def test_fc_topology_simulates_end_to_end(self):
+        # Regression: the specialized walker generator assumed a ring's
+        # precomputed routes and crashed on all-to-all systems instead of
+        # falling back to the generic walker.
+        from dataclasses import replace
+
+        from repro.core.presets import baseline_mcm_gpu
+        from repro.sim.simulator import Simulator
+        from repro.workloads.synthetic import (
+            Category,
+            SyntheticWorkload,
+            WorkloadSpec,
+        )
+
+        workload = SyntheticWorkload(
+            WorkloadSpec(
+                name="fc-e2e",
+                category=Category.M_INTENSIVE,
+                pattern="streaming",
+                n_ctas=16,
+                groups_per_cta=2,
+                records_per_group=2,
+                accesses_per_record=2,
+                kernel_iterations=1,
+                footprint_bytes=256 * 1024,
+            )
+        )
+        config = replace(
+            baseline_mcm_gpu(n_gpms=4, sms_per_gpm=2, name="fc-e2e"),
+            topology="fully_connected",
+        )
+        result = Simulator(config).run(workload)
+        assert result.cycles > 0
+        assert result.link_bytes > 0
