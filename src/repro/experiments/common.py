@@ -25,7 +25,7 @@ import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 try:  # advisory file locking; absent on some exotic platforms
     import fcntl
@@ -110,6 +110,11 @@ class ResultCache:
         #: never served, but reported by :meth:`stats` and reclaimed by
         #: :meth:`prune` like rev-stale entries.
         self._stale_schema_keys: List[str] = []
+        #: Per-shard read progress: path -> (inode, size, mtime_ns,
+        #: consumed bytes).  ``refresh`` compares a fresh ``stat`` against
+        #: this to skip untouched shards and to resume appending shards
+        #: from the last complete line instead of re-reading them.
+        self._shard_state: Dict[str, Tuple[int, int, int, int]] = {}
         self._loaded = False
         self.hits = 0
         self.misses = 0
@@ -123,35 +128,95 @@ class ResultCache:
         if self._loaded:
             return
         self._loaded = True
+        self._scan()
+
+    def _absorb_line(self, raw: bytes) -> None:
+        """Parse one JSONL entry into memory (tolerating foreign lines)."""
+        line = raw.strip()
+        if not line:
+            return
+        try:
+            entry = json.loads(line)
+            # Entries written under an older result schema are
+            # never served: their stats no longer match what
+            # fresh simulations (and the invariant layer)
+            # produce.  Absent marker == schema 1.
+            if (
+                "key" in entry
+                and "result" in entry
+                and entry.get("schema", 1) != RESULT_SCHEMA
+            ):
+                key = str(entry["key"])
+                if key not in self._stale_schema_keys:
+                    self._stale_schema_keys.append(key)
+                return
+            result = SimResult.from_dict(entry["result"])
+        except (json.JSONDecodeError, KeyError, TypeError):
+            return  # tolerate a truncated or foreign line
+        self._memory[entry["key"]] = result
+
+    def _read_shard(self, path: Path, offset: int) -> int:
+        """Absorb complete lines of ``path`` from ``offset``; new offset.
+
+        Only whole lines are consumed: a torn trailing line (a concurrent
+        writer caught mid-append) is left for the next refresh, when the
+        grown file size forces another read that picks up the completed
+        entry.
+        """
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                data = handle.read()
+        except OSError:  # pragma: no cover - shard deleted mid-scan
+            return offset
+        complete, newline, _tail = data.rpartition(b"\n")
+        if not newline:
+            return offset
+        for raw in complete.split(b"\n"):
+            self._absorb_line(raw)
+        return offset + len(complete) + 1
+
+    def _scan(self) -> None:
+        """Read every shard's unseen bytes, updating the per-shard state."""
         if not self.directory.is_dir():
             return
         for path in sorted(self.directory.glob("results*.jsonl")):
             try:
-                handle = open(path)
+                stat = path.stat()
             except OSError:  # pragma: no cover - shard deleted mid-scan
                 continue
-            with handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        entry = json.loads(line)
-                        # Entries written under an older result schema are
-                        # never served: their stats no longer match what
-                        # fresh simulations (and the invariant layer)
-                        # produce.  Absent marker == schema 1.
-                        if (
-                            "key" in entry
-                            and "result" in entry
-                            and entry.get("schema", 1) != RESULT_SCHEMA
-                        ):
-                            self._stale_schema_keys.append(str(entry["key"]))
-                            continue
-                        result = SimResult.from_dict(entry["result"])
-                    except (json.JSONDecodeError, KeyError, TypeError):
-                        continue  # tolerate a truncated trailing line
-                    self._memory[entry["key"]] = result
+            signature = (stat.st_ino, stat.st_size, stat.st_mtime_ns)
+            state = self._shard_state.get(str(path))
+            if state is not None and state[:3] == signature:
+                continue  # untouched since the last scan
+            consumed = 0
+            if state is not None and state[0] == signature[0] and stat.st_size >= state[3]:
+                # Same inode, grown (or same-size touch): shards are
+                # append-only, so resume from the last complete line.
+                consumed = state[3]
+            # else: new shard, or replaced/truncated (prune rewrites via
+            # rename, changing the inode) — read it from the top; entry
+            # absorption is idempotent, so re-reads only cost time.
+            consumed = self._read_shard(path, consumed)
+            self._shard_state[str(path)] = (*signature, consumed)
+
+    def refresh(self) -> int:
+        """Pick up entries appended by other processes since the last read.
+
+        Stats every ``results*.jsonl`` shard and incrementally reads the
+        ones whose (inode, size, mtime) changed — a long-running server
+        polls this cheaply instead of reopening the cache.  Returns the
+        number of entries that became visible (stale-schema entries
+        included, since they affect :meth:`stats`/:meth:`prune`).
+        """
+        if not self._loaded:
+            # First touch: the initial load IS the refresh, and every
+            # entry it finds "became visible" to this process.
+            self._load()
+            return len(self._memory) + len(self._stale_schema_keys)
+        before = len(self._memory) + len(self._stale_schema_keys)
+        self._scan()
+        return len(self._memory) + len(self._stale_schema_keys) - before
 
     def get(self, workload_digest: str, system_digest: str) -> Optional[SimResult]:
         """Cached result, or None.  Counts toward ``hits``/``misses``."""
@@ -271,6 +336,20 @@ class ResultCache:
                 except OSError:  # pragma: no cover - already gone
                     pass
         self._memory = keep
+        # The rewrite replaced our file (new inode) and removed the other
+        # shards; drop the read-progress state so a later refresh re-stats
+        # from scratch instead of trusting dead signatures.
+        self._shard_state = {}
+        try:
+            stat = self.path.stat()
+            self._shard_state[str(self.path)] = (
+                stat.st_ino,
+                stat.st_size,
+                stat.st_mtime_ns,
+                stat.st_size,
+            )
+        except OSError:  # pragma: no cover - file removed underneath us
+            pass
         return dropped
 
 

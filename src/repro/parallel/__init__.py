@@ -23,11 +23,19 @@ rendered by the experiment scripts after each run.
 """
 
 from .metrics import GLOBAL_METRICS, SuiteMetrics
-from .runner import profiling_enabled, resolve_workers, run_suite_parallel
+from .runner import (
+    PairFailure,
+    SuiteRunError,
+    profiling_enabled,
+    resolve_workers,
+    run_suite_parallel,
+)
 
 __all__ = [
     "GLOBAL_METRICS",
+    "PairFailure",
     "SuiteMetrics",
+    "SuiteRunError",
     "profiling_enabled",
     "resolve_workers",
     "run_suite_parallel",

@@ -20,6 +20,8 @@ import os
 import pickle
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import SystemConfig
@@ -101,6 +103,58 @@ def _run_task(payload, config: SystemConfig) -> Tuple[SimResult, float, Optional
 # ----------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class PairFailure:
+    """One (workload, config) pair that could not produce a result.
+
+    ``kind`` is ``"exception"`` (the simulation raised — deterministic,
+    never retried), ``"crash"`` (the worker process died and the pair
+    exhausted its retry budget), or ``"timeout"`` (the pair exceeded the
+    per-pair wall-clock limit).  ``error`` is the exception repr or a
+    description of the crash/timeout.
+    """
+
+    key: str
+    workload_name: str
+    config_name: str
+    kind: str
+    error: str
+
+
+class SuiteRunError(RuntimeError):
+    """Raised when pairs failed and no ``failures`` sink was provided."""
+
+    def __init__(self, failures: Sequence[PairFailure]) -> None:
+        self.failures = list(failures)
+        lines = ", ".join(
+            f"{item.workload_name} on {item.config_name} [{item.kind}]"
+            for item in self.failures[:5]
+        )
+        more = "" if len(self.failures) <= 5 else f" (+{len(self.failures) - 5} more)"
+        super().__init__(f"{len(self.failures)} pair(s) failed: {lines}{more}")
+
+
+#: Seconds between coordinator wake-ups while futures are outstanding —
+#: the granularity of per-pair timeout checks and crash observation.
+_POLL_SECONDS = 0.1
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Forcefully stop a pool whose workers are hung or poisoned.
+
+    ``ProcessPoolExecutor`` has no public kill switch: ``shutdown`` waits
+    for running tasks, which never return when a worker is stuck.
+    Terminating the worker processes flips the pool into its broken state,
+    after which shutdown returns immediately.
+    """
+    for process in list(getattr(pool, "_processes", {}).values()):
+        try:
+            process.terminate()
+        except OSError:  # pragma: no cover - already dead
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 def resolve_workers(max_workers: Optional[int] = None) -> int:
     """Worker count: explicit argument, else ``REPRO_WORKERS``, else cores.
 
@@ -143,6 +197,9 @@ def run_suite_parallel(
     progress=None,
     stats: Optional[Dict[str, int]] = None,
     metrics=None,
+    timeout: Optional[float] = None,
+    crash_retries: int = 2,
+    failures: Optional[List[PairFailure]] = None,
 ) -> List[Dict[str, SimResult]]:
     """Simulate every (workload, config) pair over a process pool.
 
@@ -164,6 +221,19 @@ def run_suite_parallel(
     a private :class:`~repro.parallel.metrics.SuiteMetrics` sink that
     mirrors the per-simulation records the process-wide ``GLOBAL_METRICS``
     receives (see :func:`repro.experiments.common.run_suites`).
+
+    Failure handling: a pair whose simulation raises, whose worker
+    process dies (after ``crash_retries`` pool rebuilds), or that runs
+    longer than ``timeout`` seconds (measured from when a worker picks it
+    up) becomes a structured :class:`PairFailure` instead of stalling or
+    crashing the whole batch.  With a ``failures`` list supplied, the
+    failures are appended there and the surviving pairs' results are
+    returned (failed pairs are simply absent from their dicts); without
+    one, the batch still runs to completion and then raises
+    :class:`SuiteRunError` listing every failed pair.  A timeout has to
+    kill the worker pool (hung workers cannot be cancelled), so pairs
+    that were mid-flight on other workers restart on a fresh pool — they
+    are not charged a crash retry.
     """
     configs = list(configs)
     workload_list = list(workloads) if workloads is not None else suite_workloads()
@@ -216,31 +286,131 @@ def run_suite_parallel(
         if progress is not None:
             progress(done, total, result)
 
+    collected: List[PairFailure] = []
+
+    def _fail(key: str, config_name: str, kind: str, error: str) -> None:
+        collected.append(
+            PairFailure(
+                key=key,
+                workload_name=sinks[key][0][1],
+                config_name=config_name,
+                kind=kind,
+                error=error,
+            )
+        )
+
     if pending:
+        from .metrics import GLOBAL_METRICS
+
         cache_dir = str(cache.directory) if cache is not None else None
         pool_workers = min(workers, len(pending))
-        with ProcessPoolExecutor(
-            max_workers=pool_workers,
-            initializer=_init_worker,
-            initargs=(cache_dir,),
-        ) as pool:
+        outstanding: Dict[str, Tuple[object, SystemConfig]] = dict(pending)
+        attempts: Dict[str, int] = {}
+        # Crash suspects awaiting an isolation round (see the broken-pool
+        # handler below): run one at a time so a repeat break identifies
+        # the culprit unambiguously instead of charging innocent pairs.
+        suspects: List[str] = []
+        while outstanding:
+            suspects = [key for key in suspects if key in outstanding]
+            round_keys = suspects[:1] if suspects else list(outstanding)
+            pool = ProcessPoolExecutor(
+                max_workers=min(pool_workers, len(round_keys)),
+                initializer=_init_worker,
+                initargs=(cache_dir,),
+            )
             futures = {
-                pool.submit(_run_task, payload, config): key
-                for key, (payload, config) in pending.items()
+                pool.submit(_run_task, *outstanding[key]): key
+                for key in round_keys
             }
+            started: Dict[object, float] = {}
+            rebuild = False
             remaining = set(futures)
-            while remaining:
-                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            while remaining and not rebuild:
+                finished, remaining = wait(
+                    remaining, timeout=_POLL_SECONDS, return_when=FIRST_COMPLETED
+                )
+                now = time.time()
+                for future in remaining:
+                    if future not in started and future.running():
+                        started[future] = now
+                broken = False
                 for future in finished:
-                    result, sim_seconds, summary = future.result()
-                    from .metrics import GLOBAL_METRICS
-
+                    key = futures[future]
+                    if key not in outstanding:
+                        continue
+                    try:
+                        result, sim_seconds, summary = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        continue
+                    except Exception as exc:  # noqa: BLE001 - surfaced per pair
+                        _fail(key, outstanding[key][1].name, "exception", repr(exc))
+                        outstanding.pop(key, None)
+                        if key in suspects:
+                            suspects.remove(key)
+                        continue
                     GLOBAL_METRICS.record_sim(result.system_name, sim_seconds)
                     if metrics is not None:
                         metrics.record_sim(result.system_name, sim_seconds)
                     if summary is not None:
                         GLOBAL_METRICS.record_telemetry(summary)
-                    _record(futures[future], result)
+                    _record(key, result)
+                    outstanding.pop(key, None)
+                    if key in suspects:
+                        suspects.remove(key)
+                if broken:
+                    # A worker died and took the pool with it.  The pairs
+                    # observed running are the crash candidates; queued
+                    # pairs restart for free.  A single candidate is
+                    # charged a retry; several are ambiguous (any of them
+                    # may be the killer), so nobody is charged — they are
+                    # queued for one-at-a-time isolation rounds where a
+                    # repeat break is unambiguous.
+                    culprits = {
+                        futures[item]
+                        for item in started
+                        if futures[item] in outstanding
+                    } or {key for key in round_keys if key in outstanding}
+                    if len(culprits) == 1:
+                        culprit = next(iter(culprits))
+                        attempts[culprit] = attempts.get(culprit, 0) + 1
+                        if attempts[culprit] > crash_retries:
+                            _fail(
+                                culprit,
+                                outstanding[culprit][1].name,
+                                "crash",
+                                f"worker process died ({attempts[culprit]} attempts)",
+                            )
+                            outstanding.pop(culprit, None)
+                            if culprit in suspects:
+                                suspects.remove(culprit)
+                    else:
+                        for key in sorted(culprits):
+                            if key not in suspects:
+                                suspects.append(key)
+                    rebuild = True
+                    continue
+                if timeout is not None:
+                    expired = [
+                        future
+                        for future in remaining
+                        if future in started and now - started[future] > timeout
+                    ]
+                    for future in expired:
+                        key = futures[future]
+                        _fail(
+                            key,
+                            outstanding[key][1].name,
+                            "timeout",
+                            f"exceeded {timeout:g}s wall-clock limit",
+                        )
+                        outstanding.pop(key, None)
+                    if expired:
+                        rebuild = True
+            if rebuild:
+                _terminate_pool(pool)
+            else:
+                pool.shutdown(wait=True)
 
     # Unpicklable workloads run in-process (rare; custom Workload objects).
     for key, workload, config in local:
@@ -248,7 +418,11 @@ def run_suite_parallel(
 
         telemetry = Telemetry() if profiling_enabled() else None
         start = time.time()
-        result = Simulator(config, telemetry=telemetry).run(workload)
+        try:
+            result = Simulator(config, telemetry=telemetry).run(workload)
+        except Exception as exc:  # noqa: BLE001 - surfaced per pair
+            _fail(key, config.name, "exception", repr(exc))
+            continue
         sim_seconds = time.time() - start
         GLOBAL_METRICS.record_sim(result.system_name, sim_seconds)
         if metrics is not None:
@@ -261,6 +435,12 @@ def run_suite_parallel(
         done += 1
         if progress is not None:
             progress(done, total, result)
+
+    if collected:
+        if failures is not None:
+            failures.extend(collected)
+        else:
+            raise SuiteRunError(collected)
 
     # Re-key each dict into workload order so iteration order matches the
     # serial path exactly.

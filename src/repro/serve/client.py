@@ -1,0 +1,227 @@
+"""Synchronous client library for the ``repro.serve`` job server.
+
+:class:`ServeClient` wraps the HTTP/JSON API in plain blocking calls —
+the natural shape for scripts and for the :func:`repro.explore.remote.
+remote_runner` bridge, which drives whole sweeps through a server from a
+synchronous ``run_sweep`` loop.  Only the standard library is used
+(``urllib`` for request/response calls, ``http.client`` for the SSE
+stream).
+
+The high-level entry point is :meth:`ServeClient.run_pairs`: submit a
+list of (workload, config) pairs as one batch, poll until every job is
+terminal, revive the :class:`~repro.sim.result.SimResult` objects, and
+raise :class:`RemoteError` if any pair failed.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.config import SystemConfig
+from ..sim.result import SimResult
+from .wire import pair_to_wire
+
+
+class RemoteError(RuntimeError):
+    """The server rejected a request or a remote job failed."""
+
+
+class ServeClient:
+    """Blocking HTTP client for one ``repro.serve`` server.
+
+    ``base_url`` is the server root (e.g. ``http://127.0.0.1:8731``);
+    ``timeout`` bounds each HTTP call, not whole jobs — use the
+    ``timeout`` argument of the wait helpers for end-to-end limits.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 300.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """One HTTP round trip; raises :class:`RemoteError` on failure."""
+        data = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except Exception:  # noqa: BLE001 - diagnostics only
+                detail = ""
+            raise RemoteError(
+                f"{method} {path} failed with HTTP {exc.code}"
+                + (f": {detail}" if detail else "")
+            ) from exc
+        except (urllib.error.URLError, OSError) as exc:
+            raise RemoteError(f"{method} {path} unreachable: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """``GET /healthz``."""
+        return self._request("GET", "/healthz")
+
+    def submit(self, workload: Any, config: SystemConfig) -> Dict[str, Any]:
+        """Submit one pair; returns the job wire dict (with ``how``)."""
+        return self._request("POST", "/jobs", pair_to_wire(workload, config))
+
+    def job(self, job_id: str, result: bool = False) -> Dict[str, Any]:
+        """``GET /jobs/<id>`` (``result=True`` embeds the SimResult dict)."""
+        suffix = "?result=1" if result else ""
+        return self._request("GET", f"/jobs/{job_id}{suffix}")
+
+    def submit_pairs(
+        self, pairs: Sequence[Tuple[Any, SystemConfig]]
+    ) -> Dict[str, Any]:
+        """Submit many pairs as one batch; returns the batch wire dict."""
+        payload = {"pairs": [pair_to_wire(w, c) for w, c in pairs]}
+        return self._request("POST", "/batches", payload)
+
+    def batch(self, batch_id: str) -> Dict[str, Any]:
+        """``GET /batches/<id>`` — per-state counts and ``done`` flag."""
+        return self._request("GET", f"/batches/{batch_id}")
+
+    def batch_results(self, batch_id: str) -> Dict[str, Any]:
+        """``GET /batches/<id>/results`` — per-slot rows with results."""
+        return self._request("GET", f"/batches/{batch_id}/results")
+
+    def metrics(self) -> Dict[str, Any]:
+        """``GET /metrics``."""
+        return self._request("GET", "/metrics")
+
+    def cache_stats(self) -> Dict[str, Any]:
+        """``GET /cache/stats``."""
+        return self._request("GET", "/cache/stats")
+
+    def refresh(self) -> Dict[str, Any]:
+        """``POST /cache/refresh``."""
+        return self._request("POST", "/cache/refresh")
+
+    def prune(self) -> Dict[str, Any]:
+        """``POST /cache/prune``."""
+        return self._request("POST", "/cache/prune")
+
+    def store(self) -> Dict[str, Any]:
+        """``GET /store`` — the full job-store snapshot."""
+        return self._request("GET", "/store")
+
+    def drain(self, grace: Optional[float] = None) -> Dict[str, Any]:
+        """``POST /drain`` — graceful shutdown; returns the summary."""
+        payload = {} if grace is None else {"grace": grace}
+        return self._request("POST", "/drain", payload)
+
+    # ------------------------------------------------------------------
+    # waiting
+    # ------------------------------------------------------------------
+
+    def wait_job(
+        self, job_id: str, poll: float = 0.1, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns its wire dict (+result)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            view = self.job(job_id, result=True)
+            if view["state"] in ("cached", "done", "failed"):
+                return view
+            if deadline is not None and time.monotonic() > deadline:
+                raise RemoteError(f"timed out waiting for job {job_id}")
+            time.sleep(poll)
+
+    def wait_batch(
+        self, batch_id: str, poll: float = 0.2, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Poll until every job in the batch is terminal; returns results."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.batch(batch_id)
+            if status.get("done"):
+                return self.batch_results(batch_id)
+            if deadline is not None and time.monotonic() > deadline:
+                raise RemoteError(f"timed out waiting for batch {batch_id}")
+            time.sleep(poll)
+
+    def run_pairs(
+        self,
+        pairs: Sequence[Tuple[Any, SystemConfig]],
+        poll: float = 0.2,
+        timeout: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        """Submit, wait, and revive: the one-call remote execution path.
+
+        Returns one row per submitted pair, in submission order, with the
+        ``result`` field replaced by a revived :class:`SimResult`.  Rows
+        keep the server's ``how`` (queued/coalesced/cached) and
+        ``sim_seconds`` so callers can account throughput.  Raises
+        :class:`RemoteError` if any pair failed remotely.
+        """
+        batch = self.submit_pairs(pairs)
+        outcome = self.wait_batch(batch["id"], poll=poll, timeout=timeout)
+        rows: List[Dict[str, Any]] = outcome["jobs"]
+        failed = [row for row in rows if row["state"] == "failed"]
+        if failed:
+            details = "; ".join(
+                f"{row['workload']} on {row['config']}: "
+                f"{(row.get('error') or {}).get('kind', '?')} "
+                f"({(row.get('error') or {}).get('error', '')})"
+                for row in failed[:5]
+            )
+            raise RemoteError(
+                f"{len(failed)}/{len(rows)} remote jobs failed: {details}"
+            )
+        for row in rows:
+            if row.get("result") is None:  # pragma: no cover - defensive
+                raise RemoteError(f"job {row['id']} finished without a result")
+            row["result"] = SimResult.from_dict(row["result"])
+        return rows
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+
+    def events(self, since: int = 0) -> Iterator[Dict[str, Any]]:
+        """Yield job-transition events from the SSE stream.
+
+        Blocks between events (keepalive comments are skipped); the
+        caller breaks out of the loop to close the stream.  ``since``
+        replays buffered history first, so a dropped stream resumes with
+        ``since=<last seen seq>``.
+        """
+        parsed = urllib.parse.urlsplit(self.base_url)
+        connection = http.client.HTTPConnection(
+            parsed.hostname, parsed.port, timeout=self.timeout
+        )
+        try:
+            connection.request("GET", f"/events?since={since}")
+            response = connection.getresponse()
+            if response.status != 200:
+                raise RemoteError(f"GET /events failed with HTTP {response.status}")
+            while True:
+                line = response.fp.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line.startswith(b"data:"):
+                    yield json.loads(line[len(b"data:"):].decode("utf-8"))
+        finally:
+            connection.close()

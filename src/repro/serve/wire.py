@@ -1,0 +1,117 @@
+"""Wire formats for the job server: workloads, configs, results as JSON.
+
+Every payload that crosses the HTTP boundary round-trips through the
+helpers here.  Workloads travel as their :class:`~repro.workloads.
+synthetic.WorkloadSpec` (tiny, declarative, digest-stable), or as a
+``{"name": ..., "scale": ...}`` reference into the built-in suite;
+configurations reuse :meth:`~repro.core.config.SystemConfig.to_dict`.
+The server never trusts client-side digests — it revives the objects and
+recomputes ``workload.digest()`` / ``config.digest()`` itself, so cache
+keys are authoritative regardless of client version skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Dict, List, Tuple
+
+from ..core.config import SystemConfig
+from ..workloads.suite import spec_by_name
+from ..workloads.synthetic import Category, SyntheticWorkload, WorkloadSpec
+
+
+class WireError(ValueError):
+    """A malformed or unsupported wire payload (maps to HTTP 400)."""
+
+
+def workload_to_wire(workload: Any) -> Dict[str, Any]:
+    """JSON-safe descriptor for a workload.
+
+    Only synthetic workloads are expressible on the wire (everything the
+    suite, sweeps, and experiments run); a custom :class:`~repro.
+    workloads.trace.Workload` subclass has no declarative form and must
+    run locally instead.
+    """
+    if isinstance(workload, SyntheticWorkload):
+        data = asdict(workload.spec)
+        data["category"] = workload.spec.category.value
+        data["pattern_params"] = [list(pair) for pair in workload.spec.pattern_params]
+        return {"spec": data}
+    raise WireError(
+        f"workload {getattr(workload, 'name', workload)!r} is not synthetic; "
+        "only WorkloadSpec-backed workloads can be submitted to a server"
+    )
+
+
+def spec_from_wire(data: Dict[str, Any]) -> WorkloadSpec:
+    """Revive a :class:`WorkloadSpec` from its wire dict."""
+    if not isinstance(data, dict):
+        raise WireError(f"workload spec must be an object, got {type(data).__name__}")
+    payload = dict(data)
+    try:
+        payload["category"] = Category(payload["category"])
+        payload["pattern_params"] = tuple(
+            (str(key), value) for key, value in payload.get("pattern_params", ())
+        )
+        return WorkloadSpec(**payload)
+    except WireError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"bad workload spec: {exc}") from exc
+
+
+def workload_from_wire(data: Dict[str, Any]) -> SyntheticWorkload:
+    """Revive a runnable workload from either wire form.
+
+    ``{"spec": {...}}`` carries a full :class:`WorkloadSpec`;
+    ``{"name": "Stream", "scale": 0.25}`` references the built-in suite
+    (``scale`` optionally shrinks it via ``WorkloadSpec.scaled_down``).
+    """
+    if not isinstance(data, dict):
+        raise WireError(f"workload must be an object, got {type(data).__name__}")
+    if "spec" in data:
+        return SyntheticWorkload(spec_from_wire(data["spec"]))
+    if "name" in data:
+        try:
+            spec = spec_by_name(str(data["name"]))
+        except KeyError as exc:
+            raise WireError(str(exc)) from exc
+        scale = data.get("scale")
+        if scale is not None:
+            try:
+                spec = spec.scaled_down(float(scale))
+            except (TypeError, ValueError) as exc:
+                raise WireError(f"bad scale {scale!r}: {exc}") from exc
+        return SyntheticWorkload(spec)
+    raise WireError("workload needs a 'spec' or a suite 'name'")
+
+
+def config_from_wire(data: Dict[str, Any]) -> SystemConfig:
+    """Revive a :class:`SystemConfig` from its ``to_dict`` form."""
+    if not isinstance(data, dict):
+        raise WireError(f"config must be an object, got {type(data).__name__}")
+    try:
+        return SystemConfig.from_dict(data)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"bad system config: {exc}") from exc
+
+
+def pair_to_wire(workload: Any, config: SystemConfig) -> Dict[str, Any]:
+    """Wire dict for one (workload, config) job submission."""
+    return {"workload": workload_to_wire(workload), "config": config.to_dict()}
+
+
+def pair_from_wire(data: Dict[str, Any]) -> Tuple[SyntheticWorkload, SystemConfig]:
+    """Revive one (workload, config) pair from a job submission."""
+    if not isinstance(data, dict):
+        raise WireError(f"pair must be an object, got {type(data).__name__}")
+    if "workload" not in data or "config" not in data:
+        raise WireError("pair needs 'workload' and 'config'")
+    return workload_from_wire(data["workload"]), config_from_wire(data["config"])
+
+
+def pairs_from_wire(data: Any) -> List[Tuple[SyntheticWorkload, SystemConfig]]:
+    """Revive a batch submission's ``pairs`` list."""
+    if not isinstance(data, list) or not data:
+        raise WireError("'pairs' must be a non-empty list")
+    return [pair_from_wire(item) for item in data]

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.multigpu",
     "repro.parallel",
     "repro.sched",
+    "repro.serve",
     "repro.sim",
     "repro.workloads",
 ]

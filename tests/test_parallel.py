@@ -315,3 +315,127 @@ class TestMetrics:
         metrics.record_batch(configs=["a"], total=1, cached=0, wall=1.0, workers=1)
         metrics.reset()
         assert metrics.total_pairs == 0
+
+
+class TestPairFailures:
+    """Structured failure reporting for crashed/hung/raising pairs."""
+
+    def _crasher(self):
+        from tests.test_serve import CrashingWorkload
+
+        return CrashingWorkload()
+
+    def _hanger(self):
+        from tests.test_serve import HangingWorkload
+
+        return HangingWorkload()
+
+    def _raiser(self):
+        from tests.test_serve import RaisingWorkload
+
+        return RaisingWorkload()
+
+    def test_worker_crash_becomes_pair_failure(self):
+        from repro.parallel import PairFailure
+
+        config = tiny_configs()[0]
+        failures = []
+        results = run_suite_parallel(
+            [config],
+            workloads=[self._crasher(), tiny_workload("pf-ok")],
+            max_workers=2,
+            cache=None,
+            crash_retries=1,
+            failures=failures,
+        )
+        assert len(failures) == 1
+        failure = failures[0]
+        assert isinstance(failure, PairFailure)
+        assert failure.kind == "crash"
+        assert failure.workload_name == "crasher"
+        # The healthy pair still completes despite the pool rebuilds.
+        assert "pf-ok" in results[0]
+        assert "crasher" not in results[0]
+
+    def test_hung_pair_times_out(self):
+        config = tiny_configs()[0]
+        failures = []
+        results = run_suite_parallel(
+            [config],
+            workloads=[self._hanger()],
+            max_workers=2,
+            cache=None,
+            timeout=1.0,
+            failures=failures,
+        )
+        assert [failure.kind for failure in failures] == ["timeout"]
+        assert results[0] == {}
+
+    def test_simulation_exception_is_reported_not_retried(self):
+        config = tiny_configs()[0]
+        failures = []
+        results = run_suite_parallel(
+            [config],
+            workloads=[self._raiser(), tiny_workload("pf-ok2")],
+            max_workers=2,
+            cache=None,
+            failures=failures,
+        )
+        assert [failure.kind for failure in failures] == ["exception"]
+        assert "intentional test failure" in failures[0].error
+        assert "pf-ok2" in results[0]
+
+    def test_without_sink_the_batch_raises(self):
+        from repro.parallel import SuiteRunError
+
+        config = tiny_configs()[0]
+        with pytest.raises(SuiteRunError) as info:
+            run_suite_parallel(
+                [config],
+                workloads=[self._raiser()],
+                max_workers=2,
+                cache=None,
+            )
+        assert info.value.failures[0].kind == "exception"
+
+
+class TestCacheRefresh:
+    """Cross-process shard refresh for long-running cache holders."""
+
+    def test_refresh_picks_up_foreign_appends(self, tmp_path):
+        config = tiny_configs()[0]
+        workload = tiny_workload("cr-w1")
+        mine = ResultCache(tmp_path)
+        assert mine.refresh() == 0  # cold, empty directory
+        other = ResultCache(tmp_path, shard="other")
+        from repro.experiments.common import _run_suite_serial
+
+        results = _run_suite_serial(config, [workload], None)
+        other.put(results[workload.name])
+        assert mine.refresh() == 1
+        assert (
+            mine.get(workload.digest(), config.digest()).to_dict()
+            == results[workload.name].to_dict()
+        )
+        assert mine.refresh() == 0  # nothing new: stat-skip path
+
+    def test_refresh_tolerates_torn_lines(self, tmp_path):
+        config = tiny_configs()[0]
+        workload = tiny_workload("cr-w2")
+        mine = ResultCache(tmp_path)
+        mine.refresh()
+        shard = tmp_path / "results-torn.jsonl"
+        from repro.experiments.common import RESULT_SCHEMA, _run_suite_serial
+
+        result = _run_suite_serial(config, [workload], None)[workload.name]
+        line = json.dumps(
+            {
+                "key": f"{workload.digest()}##{config.digest()}",
+                "schema": RESULT_SCHEMA,
+                "result": result.to_dict(),
+            }
+        )
+        shard.write_text(line[: len(line) // 2])  # torn mid-append
+        assert mine.refresh() == 0
+        shard.write_text(line + "\n")  # append completed
+        assert mine.refresh() == 1
