@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Trace ingestion CLI (see ``src/repro/ingest/``).
+
+Usage:
+    python scripts/ingest.py export Stream /tmp/stream.npz       # workload -> trace file
+    python scripts/ingest.py export BFS out.jsonl --scale 0.25   # shrunken export
+    python scripts/ingest.py convert out.jsonl out.npz           # format conversion
+    python scripts/ingest.py inspect out.npz                     # header, digest, kernels
+    python scripts/ingest.py selftest --scale 0.0625             # export->re-ingest identity
+
+``export`` serializes any built-in suite workload (2017 paper suite or
+ML-era suite, by name) to the versioned trace format — ``.jsonl`` /
+``.jsonl.gz`` for hand-inspection, ``.npz`` for bulk.  ``convert`` reads
+one format and writes another, checking that the content digest survives
+the round-trip.  ``inspect`` prints the header, content hash, and kernel
+list without simulating.  ``selftest`` exports a set of workloads,
+re-ingests each file, simulates original and twin on the same config, and
+asserts field-for-field ``SimResult`` identity — the subsystem's core
+guarantee, exercised end to end through the filesystem.
+"""
+
+import argparse
+import sys
+
+
+def cmd_export(opts) -> int:
+    """Export a built-in workload to a trace file."""
+    from repro.ingest import document_digest, export_workload, save_document
+    from repro.workloads.suite import spec_by_name
+    from repro.workloads.synthetic import SyntheticWorkload
+
+    try:
+        spec = spec_by_name(opts.workload)
+    except KeyError as error:
+        print(f"[export] {error}")
+        return 1
+    if opts.scale is not None:
+        spec = spec.scaled_down(opts.scale)
+    workload = SyntheticWorkload(spec)
+    document = export_workload(workload)
+    save_document(document, opts.out)
+    print(
+        f"[export] {workload.name} -> {opts.out} "
+        f"(kernels={len(document.kernels)}, trace_sets={len(document.trace_sets)}, "
+        f"digest={document_digest(document)})"
+    )
+    return 0
+
+
+def cmd_convert(opts) -> int:
+    """Convert a trace file between JSONL and npz."""
+    from repro.ingest import document_digest, load_document, save_document
+
+    document = load_document(opts.src)
+    digest = document_digest(document)
+    save_document(document, opts.dst)
+    twin = document_digest(load_document(opts.dst))
+    if twin != digest:
+        print(f"[convert] DIGEST MISMATCH after conversion: {digest} -> {twin}")
+        return 1
+    print(f"[convert] {opts.src} -> {opts.dst} (digest {digest} preserved)")
+    return 0
+
+
+def cmd_inspect(opts) -> int:
+    """Print a trace file's header, digest, and kernel list."""
+    from repro.ingest import load_workload
+
+    workload = load_workload(opts.path)
+    document = workload.document
+    print(f"name:            {document.name}")
+    print(f"category:        {workload.category}")
+    print(f"digest:          {workload.digest()}")
+    print(f"footprint_lines: {document.footprint_lines}")
+    print(f"line_bytes:      {document.line_bytes}")
+    print(f"trace_sets:      {len(document.trace_sets)}")
+    for index, entries in enumerate(document.trace_sets):
+        records = sum(len(entry.spans) for entry in entries)
+        addrs = sum(entry.addrs.size for entry in entries)
+        print(f"  set {index}: {len(entries)} CTAs, {records} records, {addrs} accesses")
+    print(f"kernels:         {len(document.kernels)}")
+    for kernel in document.kernels:
+        print(
+            f"  {kernel.label}: n_ctas={kernel.n_ctas} "
+            f"groups_per_cta={kernel.groups_per_cta} trace_set={kernel.trace}"
+        )
+    if document.meta:
+        print(f"meta:            {document.meta}")
+    return 0
+
+
+def cmd_selftest(opts) -> int:
+    """Export->re-ingest each workload and assert bit-identical SimResults."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.core.presets import baseline_mcm_gpu, optimized_mcm_gpu
+    from repro.ingest import export_workload, save_document, load_workload
+    from repro.ingest.export import comparable_result_dict
+    from repro.sim.simulator import simulate
+    from repro.workloads.suite import spec_by_name
+    from repro.workloads.synthetic import SyntheticWorkload
+
+    names = opts.workloads or ["Stream", "BFS", "GEMM-Fwd", "DLRM-Embed"]
+    configs = [baseline_mcm_gpu(), optimized_mcm_gpu()]
+    suffix = ".npz" if opts.npz else ".jsonl"
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="repro-ingest-selftest-") as tmp:
+        for name in names:
+            spec = spec_by_name(name)
+            if opts.scale is not None:
+                spec = spec.scaled_down(opts.scale)
+            workload = SyntheticWorkload(spec)
+            path = Path(tmp) / f"{name}{suffix}"
+            save_document(export_workload(workload), path)
+            twin = load_workload(path)
+            for config in configs:
+                original = comparable_result_dict(simulate(workload, config))
+                reingested = comparable_result_dict(simulate(twin, config))
+                identical = original == reingested
+                failures += 0 if identical else 1
+                print(
+                    f"  {name:>12s} via {suffix} on {config.name:<20s} "
+                    f"{'bit-identical' if identical else 'MISMATCH'}"
+                )
+                if not identical:
+                    for key in sorted(original):
+                        if original[key] != reingested.get(key):
+                            print(f"    {key}: {original[key]} != {reingested.get(key)}")
+    print(f"[selftest] {len(names) * len(configs)} comparisons, {failures} failed")
+    return 0 if failures == 0 else 1
+
+
+def main() -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description="Export, convert, and inspect trace files.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    export = sub.add_parser("export", help="serialize a built-in workload to a trace file")
+    export.add_argument("workload", help="suite workload name (2017 or ML suite)")
+    export.add_argument("out", help="output path (.jsonl, .jsonl.gz, or .npz)")
+    export.add_argument(
+        "--scale", type=float, default=None, metavar="F",
+        help="shrink the workload by this CTA factor before exporting",
+    )
+    export.set_defaults(func=cmd_export)
+
+    convert = sub.add_parser("convert", help="convert a trace file between formats")
+    convert.add_argument("src", help="source trace file")
+    convert.add_argument("dst", help="destination trace file (format from suffix)")
+    convert.set_defaults(func=cmd_convert)
+
+    inspect = sub.add_parser("inspect", help="print a trace file's header and kernels")
+    inspect.add_argument("path", help="trace file to inspect")
+    inspect.set_defaults(func=cmd_inspect)
+
+    selftest = sub.add_parser(
+        "selftest", help="export->re-ingest->simulate; assert bit-identical results"
+    )
+    selftest.add_argument(
+        "--workloads", nargs="+", default=None, metavar="NAME",
+        help="workloads to test (default: Stream BFS GEMM-Fwd DLRM-Embed)",
+    )
+    selftest.add_argument(
+        "--scale", type=float, default=0.0625, metavar="F",
+        help="CTA scale factor (default 0.0625; pass 1.0 for full scale)",
+    )
+    selftest.add_argument(
+        "--npz", action="store_true",
+        help="round-trip through .npz instead of .jsonl",
+    )
+    selftest.set_defaults(func=cmd_selftest)
+
+    opts = parser.parse_args()
+    return opts.func(opts)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@ Usage:
     python scripts/validate.py quick              # live invariants, micro suite
     python scripts/validate.py properties         # metamorphic config sweeps
     python scripts/validate.py fidelity [--fast]  # paper shape-fidelity bands
+    python scripts/validate.py ml [--fast]        # ML-era suite fidelity bands
     python scripts/validate.py golden [--bless]   # golden-metrics drift gate
     python scripts/validate.py quick properties   # tiers combine freely
 
@@ -22,7 +23,7 @@ import os
 import sys
 import time
 
-TIERS = ("quick", "properties", "fidelity", "golden")
+TIERS = ("quick", "properties", "fidelity", "ml", "golden")
 
 
 def run_quick(opts) -> bool:
@@ -73,6 +74,15 @@ def run_fidelity_tier(opts) -> bool:
     return passed
 
 
+def run_ml_tier(opts) -> bool:
+    """Banded checks over the ML-era workload suite."""
+    from repro.validate.fidelity import report, run_ml_fidelity
+
+    checks = run_ml_fidelity(fast=opts.fast)
+    print(report(checks))
+    return all(check.passed for check in checks)
+
+
 def run_golden_tier(opts) -> bool:
     """Golden-metrics snapshot: bless or diff."""
     from pathlib import Path
@@ -97,6 +107,7 @@ RUNNERS = {
     "quick": run_quick,
     "properties": run_properties_tier,
     "fidelity": run_fidelity_tier,
+    "ml": run_ml_tier,
     "golden": run_golden_tier,
 }
 
@@ -125,7 +136,7 @@ def main() -> int:
     parser.add_argument(
         "--fast",
         action="store_true",
-        help="fidelity tier: shrunken workloads and widened bands",
+        help="fidelity/ml tiers: shrunken workloads and widened bands",
     )
     parser.add_argument(
         "--micro",

@@ -22,6 +22,7 @@ from . import (
     fig16_breakdown,
     fig17_multigpu,
     gpm_scaling,
+    ml_workloads,
     table1_history,
     table2_domains,
     table3_baseline,
@@ -50,6 +51,7 @@ EXPERIMENTS = {
     # Extension studies beyond the paper's figures.
     "topology": (topology_study, "run_topology_study"),
     "gpm-scaling": (gpm_scaling, "run_gpm_scaling"),
+    "ml-workloads": (ml_workloads, "run_ml_workloads"),
     "sched-ablation": (ablation_scheduler, "run_scheduler_ablation"),
     "page-ablation": (ablation_page_size, "run_page_size_ablation"),
     "migration-ablation": (ablation_migration, "run_migration_ablation"),

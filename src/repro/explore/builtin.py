@@ -22,7 +22,7 @@ from ..core.presets import (
     multi_gpu,
     optimized_mcm_gpu,
 )
-from ..workloads.suite import spec_by_name, suite_workloads
+from ..workloads.suite import ml_workloads, spec_by_name, suite_workloads
 from ..workloads.synthetic import SyntheticWorkload
 from ..workloads.trace import Workload
 from .pareto import DEFAULT_OBJECTIVES, pareto_front
@@ -229,6 +229,44 @@ def smoke_sweep(fast: bool = True, seed: int = 0) -> SweepPlan:
     )
 
 
+def ml_sweep(fast: bool = False, seed: int = 0) -> SweepPlan:
+    """Link bandwidth x L1.5 capacity over the ML-era extension suite.
+
+    The Figure 7 provisioning question re-asked on post-2017 traffic
+    (GEMM tiling, attention gather, ring allreduce, Zipfian embedding
+    lookups, bursty MoE dispatch): does ML-era traffic shift how much
+    inter-GPM wire and GPM-side SRAM the design needs?  Same axes as
+    ``link_l15`` but ranked on the 8-workload ML suite, so the two
+    reports are directly comparable.
+    """
+    base = mcm_gpu_with_l15(
+        16,
+        remote_only=True,
+        scheduler="distributed",
+        placement="first_touch",
+        name="mcm-l15ds-ml",
+    )
+    spec = SweepSpec(
+        name="ml",
+        base=base,
+        axes=(
+            Axis("link_bandwidth", (192.0, 384.0, 768.0, 1536.0), label="link"),
+            Axis("gpm.l15.size_bytes", tuple(_l15_sizes()), label="l15"),
+        ),
+        seed=seed,
+    )
+    scales = FAST_RUNG_SCALES if fast else RUNG_SCALES
+    rungs: List[Tuple[str, List[Workload]]] = []
+    for scale in scales:
+        label = "ml(full)" if scale is None else f"ml@{scale:g}"
+        rungs.append((label, ml_workloads(fast_factor=scale)))
+    return SweepPlan(
+        spec=spec,
+        baseline=baseline_mcm_gpu(),
+        rungs=rungs,
+    )
+
+
 def wide_sweep(fast: bool = False, seed: int = 0) -> SweepPlan:
     """Link x L1.5 x page size — a 54-point grid sized for the screen.
 
@@ -272,6 +310,7 @@ BUILTIN_SWEEPS: Dict[str, Tuple[str, Callable[..., SweepPlan]]] = {
     "link_l15": ("link bandwidth x L1.5 capacity (+ Fig 14 crossover)", link_l15_sweep),
     "page_place": ("page size x placement policy", page_place_sweep),
     "gpm_count": ("GPM count x link bandwidth", gpm_count_sweep),
+    "ml": ("link bandwidth x L1.5 over the ML-era suite", ml_sweep),
     "smoke": ("tiny 2x2 CI smoke sweep", smoke_sweep),
     "wide": ("54-point link x L1.5 x page grid (use --analytical)", wide_sweep),
 }

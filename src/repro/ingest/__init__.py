@@ -1,0 +1,59 @@
+"""External trace ingestion: a versioned on-disk workload format.
+
+The subsystem decouples *what* the simulator runs from *how* the trace
+was produced.  Anything that can write the documented format — the
+built-in exporter, a real-hardware profiler, a hand-edited JSONL file —
+becomes a first-class workload:
+
+* :mod:`repro.ingest.format` — the document model, schema validation,
+  and content-hash digests.
+* :mod:`repro.ingest.io` — JSONL (hand-authoring) and npz (bulk)
+  serializations.
+* :mod:`repro.ingest.export` — serialize any live ``Workload`` to the
+  format; the export→re-ingest round trip simulates bit-identically.
+* :mod:`repro.ingest.loader` — :class:`IngestedWorkload`, a
+  ``Workload``-protocol adapter whose digest is the trace content hash,
+  so cached results self-invalidate when a trace file is edited.
+"""
+
+from .export import (
+    ROUNDTRIP_EXCLUDED_FIELDS,
+    comparable_result_dict,
+    export_workload,
+    reingest,
+    verify_roundtrip,
+)
+from .format import (
+    TRACE_FORMAT,
+    TRACE_FORMAT_VERSION,
+    CTASlice,
+    IngestError,
+    KernelRef,
+    SchemaError,
+    TraceDocument,
+    document_digest,
+    validate_document,
+)
+from .io import load_document, save_document
+from .loader import IngestedWorkload, load_workload
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TRACE_FORMAT_VERSION",
+    "CTASlice",
+    "KernelRef",
+    "TraceDocument",
+    "IngestError",
+    "SchemaError",
+    "validate_document",
+    "document_digest",
+    "load_document",
+    "save_document",
+    "IngestedWorkload",
+    "load_workload",
+    "export_workload",
+    "reingest",
+    "verify_roundtrip",
+    "comparable_result_dict",
+    "ROUNDTRIP_EXCLUDED_FIELDS",
+]

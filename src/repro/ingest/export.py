@@ -1,0 +1,185 @@
+"""Serializing live workloads into the external trace format.
+
+:func:`export_workload` walks any ``Workload``-protocol object —
+synthetic or otherwise — materializes every kernel's CTA traces, and
+packs them into a :class:`~repro.ingest.format.TraceDocument`.  Trace
+sets are deduplicated by content digest, so an iterative workload whose
+kernels re-walk identical traces (the common case: synthetic workloads
+memoize per ``(trace seed, CTA)``) stores each distinct set once and the
+kernel list simply references it repeatedly.
+
+:func:`verify_roundtrip` is the acceptance gate made executable: simulate
+the original workload and its export→re-ingest twin on one configuration
+and demand field-for-field :class:`~repro.sim.result.SimResult` equality.
+``workload_digest`` is excluded from the comparison *by design*: the
+ingested twin's digest is the trace content hash (that is what makes
+edited trace files self-invalidate in the result cache), so it can never
+equal the synthetic spec digest — every other field must match exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..workloads.trace import ColumnarCTATrace, Workload
+from .format import (
+    CTASlice,
+    IngestError,
+    KernelRef,
+    TraceDocument,
+    document_digest,
+    validate_document,
+)
+from .loader import IngestedWorkload
+
+#: ``SimResult`` fields excluded from round-trip equality, with the reason
+#: documented where the comparison happens (see module docstring).
+ROUNDTRIP_EXCLUDED_FIELDS = ("workload_digest",)
+
+
+def _slice_from_trace(trace, label: str) -> CTASlice:
+    """One CTA's trace content as a :class:`CTASlice`.
+
+    Columnar traces are referenced in place (no copy).  Classic
+    list-of-``TraceRecord`` traces are converted, which requires the
+    record structure (read/write counts per record) to be identical
+    across the CTA's groups — the same invariant the columnar layout
+    itself encodes.
+    """
+    if isinstance(trace, ColumnarCTATrace):
+        return CTASlice(
+            addrs=np.ascontiguousarray(trace.addrs, dtype=np.int64),
+            spans=tuple((int(s), int(m), int(e)) for s, m, e in trace.spans),
+            compute_cycles=float(trace.compute_cycles),
+        )
+    groups = list(trace)
+    if not groups or not groups[0]:
+        raise IngestError(f"{label}: empty trace cannot be exported")
+    shape = [(len(record.reads), len(record.writes)) for record in groups[0]]
+    compute = float(groups[0][0].compute_cycles)
+    spans: List[Tuple[int, int, int]] = []
+    cursor = 0
+    for reads, writes in shape:
+        spans.append((cursor, cursor + reads, cursor + reads + writes))
+        cursor += reads + writes
+    rows = []
+    for g, records in enumerate(groups):
+        row_shape = [(len(record.reads), len(record.writes)) for record in records]
+        if row_shape != shape:
+            raise IngestError(
+                f"{label}: group {g} has a different record structure than "
+                "group 0; only structurally uniform traces are exportable"
+            )
+        for record in records:
+            if float(record.compute_cycles) != compute:
+                raise IngestError(
+                    f"{label}: non-uniform compute_cycles within one CTA is "
+                    "not representable in trace format v1"
+                )
+        rows.append([line for record in records for line in (*record.reads, *record.writes)])
+    return CTASlice(
+        addrs=np.array(rows, dtype=np.int64),
+        spans=tuple(spans),
+        compute_cycles=compute,
+    )
+
+
+def _workload_footprint(workload: Workload, trace_sets: List[List[CTASlice]]) -> int:
+    spec = getattr(workload, "spec", None)
+    if spec is not None and hasattr(spec, "footprint_lines"):
+        return int(spec.footprint_lines)
+    declared = getattr(workload, "footprint_lines", None)
+    if declared is not None:
+        return int(declared)
+    highest = max(int(entry.addrs.max()) for trace_set in trace_sets for entry in trace_set)
+    return highest + 1
+
+
+def _workload_category(workload: Workload) -> Optional[str]:
+    category = getattr(workload, "category", None)
+    if category is None:
+        return None
+    return getattr(category, "value", str(category))
+
+
+def export_workload(workload: Workload, name: Optional[str] = None) -> TraceDocument:
+    """Materialize every kernel of ``workload`` into a trace document.
+
+    ``name`` overrides the document name (defaults to the workload's).
+    The source workload's own digest is recorded in ``meta["source"]``
+    for provenance; being metadata, it does not affect the document's
+    content hash.
+    """
+    trace_sets: List[List[CTASlice]] = []
+    set_by_digest: Dict[str, int] = {}
+    kernels: List[KernelRef] = []
+    for kernel in workload.kernels():
+        entries = [
+            _slice_from_trace(kernel.trace_fn(cta), f"{kernel.label} CTA {cta}")
+            for cta in range(kernel.n_ctas)
+        ]
+        probe = TraceDocument(
+            name="probe",
+            footprint_lines=1,
+            trace_sets=[entries],
+            kernels=[],
+        )
+        key = document_digest(probe)
+        index = set_by_digest.get(key)
+        if index is None:
+            index = len(trace_sets)
+            trace_sets.append(entries)
+            set_by_digest[key] = index
+        kernels.append(
+            KernelRef(
+                label=kernel.label,
+                n_ctas=kernel.n_ctas,
+                groups_per_cta=kernel.groups_per_cta,
+                trace=index,
+            )
+        )
+    if not kernels:
+        raise IngestError(f"{workload.name}: workload has no kernels")
+    spec = getattr(workload, "spec", None)
+    line_bytes = int(getattr(spec, "line_bytes", getattr(workload, "line_bytes", 128)))
+    doc = TraceDocument(
+        name=name or workload.name,
+        footprint_lines=_workload_footprint(workload, trace_sets),
+        trace_sets=trace_sets,
+        kernels=kernels,
+        line_bytes=line_bytes,
+        category=_workload_category(workload),
+        meta={"source": workload.digest(), "tool": "repro.ingest.export"},
+    )
+    validate_document(doc)
+    return doc
+
+
+def reingest(workload: Workload, name: Optional[str] = None) -> IngestedWorkload:
+    """Export ``workload`` and load the document back, all in memory."""
+    return IngestedWorkload(export_workload(workload, name=name))
+
+
+def comparable_result_dict(result) -> dict:
+    """A ``SimResult`` as a dict with round-trip-excluded fields removed."""
+    data = result.to_dict()
+    for field in ROUNDTRIP_EXCLUDED_FIELDS:
+        data.pop(field, None)
+    return data
+
+
+def verify_roundtrip(workload: Workload, config) -> Tuple[bool, dict, dict]:
+    """Simulate ``workload`` and its export→re-ingest twin on ``config``.
+
+    Returns ``(identical, original_dict, reingested_dict)`` where the
+    dicts are :func:`comparable_result_dict` views.  ``identical`` is
+    exact equality — no tolerance — because both runs must execute the
+    same trace content through the same engine.
+    """
+    from ..sim.simulator import simulate
+
+    original = comparable_result_dict(simulate(workload, config))
+    twin = comparable_result_dict(simulate(reingest(workload), config))
+    return original == twin, original, twin

@@ -1,0 +1,275 @@
+"""The versioned external-trace format: document model, schema, digests.
+
+A *trace document* is the simulator-facing description of a workload as
+pure data: a header (identity + address-space geometry), a pool of
+*trace sets* (one per distinct per-CTA address stream, so iterative
+kernels that re-walk the same traces are stored once), and an ordered
+kernel list referencing trace sets by index.  Each CTA entry carries the
+exact content of a :class:`~repro.workloads.trace.ColumnarCTATrace` —
+the ``(n_groups, per_group)`` int64 address block, the shared record
+spans, and the per-record compute latency — so a loaded document drives
+the PR 6 array walkers unchanged and simulates bit-identically to the
+workload it was exported from.
+
+Two serializations share this model (see :mod:`repro.ingest.io`): JSONL
+for hand-authoring and diffs, npz for bulk traces.  Both embed the format
+marker and version; :func:`validate_document` enforces the schema, and
+:func:`document_digest` hashes the *semantic* content (header geometry,
+kernels, every address/span/latency — not provenance ``meta``), giving
+every document a content address that flows into simulation-result cache
+keys: editing a trace file changes the digest, which self-invalidates
+stale cached results exactly like a config-digest change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Format marker embedded in every serialized trace.
+TRACE_FORMAT = "repro-trace"
+#: Current schema revision.  Readers reject any other version rather than
+#: guessing: the format is a stability contract with external producers.
+TRACE_FORMAT_VERSION = 1
+
+#: Hex digits of the sha256 content hash kept in digests (collision odds
+#: at 2^-64 per pair are far below the cache's corruption tolerance).
+DIGEST_HEX_CHARS = 16
+
+
+class IngestError(ValueError):
+    """A trace document or file that cannot be ingested."""
+
+
+class SchemaError(IngestError):
+    """A structurally invalid trace document (bad version, negative
+    lines, inconsistent spans, torn or incomplete files)."""
+
+
+@dataclass(frozen=True)
+class CTASlice:
+    """One CTA's trace content: address block, record spans, latency.
+
+    ``addrs`` is the ``(n_groups, per_group)`` int64 line-address block
+    (reads before writes within each record, exactly the
+    :class:`~repro.workloads.trace.ColumnarCTATrace` layout); ``spans``
+    are the shared per-record ``(start, reads_end, end)`` column bounds;
+    ``compute_cycles`` is the arithmetic latency charged per record.
+    """
+
+    addrs: np.ndarray
+    spans: Tuple[Tuple[int, int, int], ...]
+    compute_cycles: float
+
+    @property
+    def n_groups(self) -> int:
+        """Warp groups in this CTA."""
+        return int(self.addrs.shape[0])
+
+    @property
+    def per_group(self) -> int:
+        """Accesses issued by each warp group."""
+        return int(self.addrs.shape[1])
+
+
+@dataclass(frozen=True)
+class KernelRef:
+    """One kernel launch: grid shape plus a trace-set reference."""
+
+    label: str
+    n_ctas: int
+    groups_per_cta: int
+    trace: int
+
+
+@dataclass
+class TraceDocument:
+    """A complete external trace: header, trace-set pool, kernel list."""
+
+    name: str
+    footprint_lines: int
+    trace_sets: List[List[CTASlice]]
+    kernels: List[KernelRef]
+    line_bytes: int = 128
+    category: Optional[str] = None
+    #: Free-form provenance (source digest, exporting tool, notes).
+    #: Excluded from :func:`document_digest` — annotating a trace must
+    #: not invalidate its cached simulation results.
+    meta: Dict[str, object] = field(default_factory=dict)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SchemaError(message)
+
+
+def validate_document(doc: TraceDocument) -> None:
+    """Enforce the schema; raises :class:`SchemaError` with a precise cause.
+
+    Checks header sanity (positive geometry), kernel/trace-set
+    consistency (valid references, grid shape matching the trace set),
+    and per-CTA content (2-D int64 addresses, non-negative and inside the
+    footprint; spans contiguously tiling ``[0, per_group)`` with reads
+    before writes; finite non-negative compute latency).
+    """
+    _require(isinstance(doc.name, str) and doc.name != "", "name must be a non-empty string")
+    _require(
+        isinstance(doc.line_bytes, int) and doc.line_bytes > 0,
+        f"line_bytes must be a positive int, got {doc.line_bytes!r}",
+    )
+    _require(
+        isinstance(doc.footprint_lines, int) and doc.footprint_lines > 0,
+        f"footprint_lines must be a positive int, got {doc.footprint_lines!r}",
+    )
+    _require(bool(doc.kernels), "document has no kernels")
+    _require(bool(doc.trace_sets), "document has no trace sets")
+    for index, kernel in enumerate(doc.kernels):
+        where = f"kernel[{index}] ({kernel.label!r})"
+        _require(kernel.n_ctas > 0, f"{where}: n_ctas must be positive")
+        _require(kernel.groups_per_cta > 0, f"{where}: groups_per_cta must be positive")
+        _require(
+            0 <= kernel.trace < len(doc.trace_sets),
+            f"{where}: trace set {kernel.trace} out of range "
+            f"(document has {len(doc.trace_sets)})",
+        )
+        trace_set = doc.trace_sets[kernel.trace]
+        _require(
+            kernel.n_ctas == len(trace_set),
+            f"{where}: n_ctas {kernel.n_ctas} != trace set size {len(trace_set)}",
+        )
+        for cta, entry in enumerate(trace_set):
+            _require(
+                entry.n_groups == kernel.groups_per_cta,
+                f"{where}: CTA {cta} has {entry.n_groups} groups, "
+                f"launch declares {kernel.groups_per_cta}",
+            )
+    for t, trace_set in enumerate(doc.trace_sets):
+        _require(bool(trace_set), f"trace set {t} is empty")
+        for cta, entry in enumerate(trace_set):
+            _validate_slice(entry, doc.footprint_lines, f"trace set {t}, CTA {cta}")
+
+
+def _validate_slice(entry: CTASlice, footprint_lines: int, where: str) -> None:
+    addrs = entry.addrs
+    _require(
+        isinstance(addrs, np.ndarray) and addrs.ndim == 2,
+        f"{where}: addrs must be a 2-D array",
+    )
+    _require(
+        addrs.dtype == np.int64,
+        f"{where}: addrs must be int64, got {addrs.dtype}",
+    )
+    _require(addrs.shape[0] > 0 and addrs.shape[1] > 0, f"{where}: empty address block")
+    _require(int(addrs.min()) >= 0, f"{where}: negative line address {int(addrs.min())}")
+    _require(
+        int(addrs.max()) < footprint_lines,
+        f"{where}: line address {int(addrs.max())} outside the "
+        f"{footprint_lines}-line footprint",
+    )
+    _require(
+        math.isfinite(entry.compute_cycles) and entry.compute_cycles >= 0,
+        f"{where}: compute_cycles must be finite and non-negative, "
+        f"got {entry.compute_cycles!r}",
+    )
+    per_group = entry.per_group
+    _require(bool(entry.spans), f"{where}: no record spans")
+    cursor = 0
+    for span in entry.spans:
+        _require(
+            len(span) == 3,
+            f"{where}: span {span!r} must be (start, reads_end, end)",
+        )
+        start, mid, end = (int(value) for value in span)
+        _require(
+            start == cursor,
+            f"{where}: span starts at {start}, expected {cursor} "
+            "(spans must tile the columns contiguously)",
+        )
+        _require(start <= mid <= end, f"{where}: span {span!r} is not ordered")
+        _require(end > start, f"{where}: span {span!r} covers no accesses")
+        cursor = end
+    _require(
+        cursor == per_group,
+        f"{where}: spans cover {cursor} of {per_group} accesses per group",
+    )
+
+
+def is_write_column(entry: CTASlice) -> np.ndarray:
+    """The shared per-position store mask implied by the record spans."""
+    mask = np.zeros(entry.per_group, dtype=bool)
+    for _, mid, end in entry.spans:
+        mask[mid:end] = True
+    return mask
+
+
+def document_digest(doc: TraceDocument) -> str:
+    """Stable sha256 content hash of a document's semantic payload.
+
+    Covers the header geometry (name, line size, footprint, category),
+    every kernel reference, and every trace set's spans, latencies, and
+    address bytes (little-endian int64, row-major) — but not ``meta``.
+    The same logical content therefore hashes identically whether it was
+    read from JSONL or npz, freshly exported, or hand-built in memory.
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        f"{TRACE_FORMAT}|v{TRACE_FORMAT_VERSION}|{doc.name}|{doc.line_bytes}"
+        f"|{doc.footprint_lines}|{doc.category or ''}".encode("utf-8")
+    )
+    for t, trace_set in enumerate(doc.trace_sets):
+        digest.update(f"|T{t}:{len(trace_set)}".encode("utf-8"))
+        for entry in trace_set:
+            spans = ";".join(f"{s},{m},{e}" for s, m, e in entry.spans)
+            digest.update(
+                f"|{entry.compute_cycles!r}|{entry.n_groups}|{spans}|".encode("utf-8")
+            )
+            digest.update(np.ascontiguousarray(entry.addrs, dtype="<i8").tobytes())
+    for kernel in doc.kernels:
+        digest.update(
+            f"|K:{kernel.label}:{kernel.n_ctas}:{kernel.groups_per_cta}"
+            f":{kernel.trace}".encode("utf-8")
+        )
+    return digest.hexdigest()[:DIGEST_HEX_CHARS]
+
+
+def header_dict(doc: TraceDocument) -> Dict[str, object]:
+    """The serializable header both file formats embed."""
+    return {
+        "format": TRACE_FORMAT,
+        "version": TRACE_FORMAT_VERSION,
+        "name": doc.name,
+        "line_bytes": doc.line_bytes,
+        "footprint_lines": doc.footprint_lines,
+        "category": doc.category,
+        "meta": dict(doc.meta),
+        "trace_sets": len(doc.trace_sets),
+        "kernels": len(doc.kernels),
+    }
+
+
+def check_header(data: Dict[str, object], where: str) -> None:
+    """Validate a deserialized header's marker and version."""
+    if data.get("format") != TRACE_FORMAT:
+        raise SchemaError(
+            f"{where}: not a {TRACE_FORMAT} file (format={data.get('format')!r})"
+        )
+    version = data.get("version")
+    if version != TRACE_FORMAT_VERSION:
+        raise SchemaError(
+            f"{where}: unsupported trace format version {version!r} "
+            f"(this reader supports v{TRACE_FORMAT_VERSION})"
+        )
+
+
+def spans_from_lists(raw: Sequence[Sequence[int]], where: str) -> Tuple[Tuple[int, int, int], ...]:
+    """Parse serialized spans into the canonical tuple-of-triples form."""
+    spans: List[Tuple[int, int, int]] = []
+    for item in raw:
+        if len(item) != 3:
+            raise SchemaError(f"{where}: span {item!r} must have three elements")
+        spans.append((int(item[0]), int(item[1]), int(item[2])))
+    return tuple(spans)

@@ -2,22 +2,30 @@
 
 Every payload that crosses the HTTP boundary round-trips through the
 helpers here.  Workloads travel as their :class:`~repro.workloads.
-synthetic.WorkloadSpec` (tiny, declarative, digest-stable), or as a
-``{"name": ..., "scale": ...}`` reference into the built-in suite;
-configurations reuse :meth:`~repro.core.config.SystemConfig.to_dict`.
-The server never trusts client-side digests — it revives the objects and
-recomputes ``workload.digest()`` / ``config.digest()`` itself, so cache
-keys are authoritative regardless of client version skew.
+synthetic.WorkloadSpec` (tiny, declarative, digest-stable), as a
+``{"name": ..., "scale": ...}`` reference into the built-in suite, or as
+a ``{"trace": {"path": ..., "digest": ...}}`` reference to an ingested
+trace file on the server's filesystem; configurations reuse
+:meth:`~repro.core.config.SystemConfig.to_dict`.  The server never
+trusts client-side digests — it revives the objects and recomputes
+``workload.digest()`` / ``config.digest()`` itself (for trace
+references, a client-supplied digest is *verified* against the loaded
+content and a mismatch is rejected, so a job can never silently run a
+different trace than the submitter intended), so cache keys are
+authoritative regardless of client version skew.
 """
 
 from __future__ import annotations
 
 from dataclasses import asdict
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Tuple, Union
 
 from ..core.config import SystemConfig
 from ..workloads.suite import spec_by_name
 from ..workloads.synthetic import Category, SyntheticWorkload, WorkloadSpec
+
+#: Workload types revivable from the wire.
+WireWorkload = Union[SyntheticWorkload, "IngestedWorkload"]
 
 
 class WireError(ValueError):
@@ -27,20 +35,63 @@ class WireError(ValueError):
 def workload_to_wire(workload: Any) -> Dict[str, Any]:
     """JSON-safe descriptor for a workload.
 
-    Only synthetic workloads are expressible on the wire (everything the
-    suite, sweeps, and experiments run); a custom :class:`~repro.
-    workloads.trace.Workload` subclass has no declarative form and must
-    run locally instead.
+    Synthetic workloads travel as their spec; ingested workloads carry a
+    ``source_path`` (recorded by :func:`trace_reference`-aware loaders)
+    plus their content hash.  Any other :class:`~repro.workloads.trace.
+    Workload` subclass has no declarative form and must run locally.
     """
+    from ..ingest.loader import IngestedWorkload
+
     if isinstance(workload, SyntheticWorkload):
         data = asdict(workload.spec)
         data["category"] = workload.spec.category.value
         data["pattern_params"] = [list(pair) for pair in workload.spec.pattern_params]
         return {"spec": data}
+    if isinstance(workload, IngestedWorkload):
+        path = getattr(workload, "source_path", None)
+        if not path:
+            raise WireError(
+                f"ingested workload {workload.name!r} has no source path; "
+                "load it from a file (load_workload) before submitting"
+            )
+        return {"trace": {"path": str(path), "digest": workload.content_hash}}
     raise WireError(
         f"workload {getattr(workload, 'name', workload)!r} is not synthetic; "
-        "only WorkloadSpec-backed workloads can be submitted to a server"
+        "only WorkloadSpec-backed workloads and file-backed ingested traces "
+        "can be submitted to a server"
     )
+
+
+def trace_reference(data: Dict[str, Any]) -> "IngestedWorkload":
+    """Revive an ingested workload from a ``{"path", "digest"}`` reference.
+
+    The file is loaded from the server's filesystem and its content hash
+    recomputed; when the reference carries a ``digest`` it must match the
+    loaded content exactly — a stale reference (file edited since the
+    client hashed it) is an error, not a silent re-run of different
+    content.
+    """
+    from ..ingest.format import IngestError
+    from ..ingest.loader import load_workload
+
+    if not isinstance(data, dict):
+        raise WireError(f"trace reference must be an object, got {type(data).__name__}")
+    path = data.get("path")
+    if not path:
+        raise WireError("trace reference needs a 'path'")
+    try:
+        workload = load_workload(str(path))
+    except (IngestError, OSError) as exc:
+        raise WireError(f"cannot load trace {path!r}: {exc}") from exc
+    expected = data.get("digest")
+    if expected is not None and str(expected) != workload.content_hash:
+        raise WireError(
+            f"trace {path!r} content hash {workload.content_hash} does not "
+            f"match the submitted digest {expected} — the file changed since "
+            "the client referenced it"
+        )
+    workload.source_path = str(path)
+    return workload
 
 
 def spec_from_wire(data: Dict[str, Any]) -> WorkloadSpec:
@@ -60,17 +111,21 @@ def spec_from_wire(data: Dict[str, Any]) -> WorkloadSpec:
         raise WireError(f"bad workload spec: {exc}") from exc
 
 
-def workload_from_wire(data: Dict[str, Any]) -> SyntheticWorkload:
-    """Revive a runnable workload from either wire form.
+def workload_from_wire(data: Dict[str, Any]) -> WireWorkload:
+    """Revive a runnable workload from any wire form.
 
     ``{"spec": {...}}`` carries a full :class:`WorkloadSpec`;
     ``{"name": "Stream", "scale": 0.25}`` references the built-in suite
-    (``scale`` optionally shrinks it via ``WorkloadSpec.scaled_down``).
+    (``scale`` optionally shrinks it via ``WorkloadSpec.scaled_down``);
+    ``{"trace": {"path": ..., "digest": ...}}`` references an ingested
+    trace file by path, verified against its content digest.
     """
     if not isinstance(data, dict):
         raise WireError(f"workload must be an object, got {type(data).__name__}")
     if "spec" in data:
         return SyntheticWorkload(spec_from_wire(data["spec"]))
+    if "trace" in data:
+        return trace_reference(data["trace"])
     if "name" in data:
         try:
             spec = spec_by_name(str(data["name"]))
@@ -83,7 +138,7 @@ def workload_from_wire(data: Dict[str, Any]) -> SyntheticWorkload:
             except (TypeError, ValueError) as exc:
                 raise WireError(f"bad scale {scale!r}: {exc}") from exc
         return SyntheticWorkload(spec)
-    raise WireError("workload needs a 'spec' or a suite 'name'")
+    raise WireError("workload needs a 'spec', a suite 'name', or a 'trace' reference")
 
 
 def config_from_wire(data: Dict[str, Any]) -> SystemConfig:
@@ -101,7 +156,7 @@ def pair_to_wire(workload: Any, config: SystemConfig) -> Dict[str, Any]:
     return {"workload": workload_to_wire(workload), "config": config.to_dict()}
 
 
-def pair_from_wire(data: Dict[str, Any]) -> Tuple[SyntheticWorkload, SystemConfig]:
+def pair_from_wire(data: Dict[str, Any]) -> Tuple[WireWorkload, SystemConfig]:
     """Revive one (workload, config) pair from a job submission."""
     if not isinstance(data, dict):
         raise WireError(f"pair must be an object, got {type(data).__name__}")
@@ -110,7 +165,7 @@ def pair_from_wire(data: Dict[str, Any]) -> Tuple[SyntheticWorkload, SystemConfi
     return workload_from_wire(data["workload"]), config_from_wire(data["config"])
 
 
-def pairs_from_wire(data: Any) -> List[Tuple[SyntheticWorkload, SystemConfig]]:
+def pairs_from_wire(data: Any) -> List[Tuple[WireWorkload, SystemConfig]]:
     """Revive a batch submission's ``pairs`` list."""
     if not isinstance(data, list) or not data:
         raise WireError("'pairs' must be a non-empty list")

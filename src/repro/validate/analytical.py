@@ -56,7 +56,7 @@ CALIBRATION_VERSION = 2
 
 #: Built-in sweeps whose rung-0 grids the score fit simulates (every
 #: sweep the router can screen).
-SCREENED_SWEEPS = ("link_l15", "page_place", "gpm_count", "smoke", "wide")
+SCREENED_SWEEPS = ("link_l15", "page_place", "gpm_count", "smoke", "wide", "ml")
 
 #: Candidate thinning strides: the 54-point ``wide`` grid and the
 #: full-scale (0.25x) rung keep every Nth point plus both endpoints.

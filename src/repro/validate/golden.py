@@ -36,7 +36,7 @@ from ..core.presets import baseline_mcm_gpu, monolithic_gpu, multi_gpu, optimize
 from ..experiments.common import run_suites
 from ..parallel.metrics import GLOBAL_METRICS
 from ..sim.result import SimResult
-from ..workloads.suite import suite_workloads
+from ..workloads.suite import ml_workloads, suite_workloads
 from ..workloads.trace import Workload
 from .invariants import check_result
 
@@ -48,6 +48,17 @@ REL_TOLERANCE = 1e-9
 #: Workloads pinned into the golden matrix: one per behavioural regime
 #: (streaming, irregular, hot-set compute, limited parallelism).
 GOLDEN_WORKLOADS = ("Stream", "BFS", "XSBench", "DWT")
+
+#: ML-era workloads pinned alongside them: one per new pattern family
+#: (GEMM tiling, attention gather, ring allreduce, Zipfian embedding,
+#: bursty MoE dispatch).
+GOLDEN_ML_WORKLOADS = (
+    "GEMM-Fwd",
+    "Attn-Decode",
+    "AllReduce-Ring",
+    "DLRM-Embed",
+    "MoE-Gate",
+)
 
 
 def default_store_path() -> Path:
@@ -66,9 +77,12 @@ def golden_configs() -> List[SystemConfig]:
 
 
 def golden_workloads() -> List[Workload]:
-    """Full-scale golden workloads (a subset of the suite)."""
+    """Full-scale golden workloads (paper suite subset + ML families)."""
     wanted = set(GOLDEN_WORKLOADS)
-    return [workload for workload in suite_workloads() if workload.name in wanted]
+    picked = [workload for workload in suite_workloads() if workload.name in wanted]
+    ml_wanted = set(GOLDEN_ML_WORKLOADS)
+    picked.extend(w for w in ml_workloads() if w.name in ml_wanted)
+    return picked
 
 
 def metrics_of(result: SimResult) -> Dict[str, float]:

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Set, Tuple
 
 from .synthetic import SyntheticWorkload, WorkloadSpec
-from .trace import KernelLaunch
+from .trace import KernelLaunch, Workload
 
 #: Page sizes (bytes) the locality table is evaluated at — covering the
 #: ``page_bytes`` settings the presets and built-in sweeps use.
@@ -141,9 +141,28 @@ def _page_locality_table(
     return tuple(rows)
 
 
-def profile_workload(workload: SyntheticWorkload, max_ctas: int = 64) -> WorkloadProfile:
-    """Characterize ``workload`` from its first kernel's traces."""
-    spec = workload.spec
+def _declared_footprint(workload: Workload) -> int:
+    """The workload's declared footprint in lines, if it declares one.
+
+    Synthetic workloads carry it on their spec; ingested workloads expose
+    it directly.  Returns 0 for workloads declaring neither (the profiler
+    then falls back to the observed footprint).
+    """
+    spec = getattr(workload, "spec", None)
+    if spec is not None and hasattr(spec, "footprint_lines"):
+        return int(spec.footprint_lines)
+    declared = getattr(workload, "footprint_lines", None)
+    return int(declared) if declared else 0
+
+
+def profile_workload(workload: Workload, max_ctas: int = 64) -> WorkloadProfile:
+    """Characterize any ``Workload`` from its first kernel's traces.
+
+    Works for synthetic and ingested workloads alike: the grid shape
+    comes from the kernel launch, the footprint from the workload's
+    declaration (spec or ``footprint_lines`` attribute) with the observed
+    line range as fallback.
+    """
     kernels = list(workload.kernels())
     kernel = kernels[0]
     touch_counts: Dict[int, int] = {}
@@ -184,6 +203,9 @@ def profile_workload(workload: SyntheticWorkload, max_ctas: int = 64) -> Workloa
     ordered = sorted(touch_counts.values(), reverse=True)
     hot_count = max(1, distinct // 10)
     hot_accesses = sum(ordered[:hot_count])
+    footprint_lines = _declared_footprint(workload)
+    if not footprint_lines:
+        footprint_lines = (max(touch_counts) + 1) if touch_counts else 1
     if sampled >= kernel.n_ctas:
         distinct_estimate = float(distinct)
     else:
@@ -191,7 +213,7 @@ def profile_workload(workload: SyntheticWorkload, max_ctas: int = 64) -> Workloa
         # makes the union grow sublinearly, so this overestimates — the
         # calibration bands absorb the slack.
         distinct_estimate = min(
-            float(spec.footprint_lines),
+            float(footprint_lines),
             distinct * kernel.n_ctas / max(1, sampled),
         )
     return WorkloadProfile(
@@ -201,12 +223,12 @@ def profile_workload(workload: SyntheticWorkload, max_ctas: int = 64) -> Workloa
         store_fraction=stores / accesses if accesses else 0.0,
         compute_per_access=compute / accesses if accesses else 0.0,
         distinct_lines=distinct,
-        footprint_coverage=distinct / spec.footprint_lines,
+        footprint_coverage=distinct / footprint_lines,
         shared_line_fraction=shared / distinct if distinct else 0.0,
         hot_concentration=hot_accesses / accesses if accesses else 0.0,
         n_ctas=kernel.n_ctas,
         kernel_launches=len(kernels),
-        groups_per_cta=float(spec.groups_per_cta),
+        groups_per_cta=float(kernel.groups_per_cta),
         per_cta_accesses=accesses / sampled if sampled else 0.0,
         per_cta_records=records / sampled if sampled else 0.0,
         per_cta_distinct_lines=cta_line_pairs / sampled if sampled else 0.0,
@@ -227,8 +249,15 @@ def profile_spec(spec: WorkloadSpec, max_ctas: int = 64) -> WorkloadProfile:
 _PROFILE_CACHE: Dict[str, WorkloadProfile] = {}
 
 
-def cached_profile(workload: SyntheticWorkload, max_ctas: int = 64) -> WorkloadProfile:
-    """Memoized :func:`profile_workload` keyed by the workload digest."""
+def cached_profile(workload: Workload, max_ctas: int = 64) -> WorkloadProfile:
+    """Memoized :func:`profile_workload` keyed by the workload digest.
+
+    Keying by ``digest()`` rather than object identity is what makes the
+    cache correct for ingested workloads: their digest is the trace
+    *content hash*, so two objects loaded from the same file share one
+    profile, and editing the file (new hash) invalidates it — the same
+    self-invalidation path the result cache uses.
+    """
     key = f"{workload.digest()}|{max_ctas}"
     profile = _PROFILE_CACHE.get(key)
     if profile is None:

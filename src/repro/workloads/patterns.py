@@ -14,13 +14,30 @@ in the paper's evaluation:
 * :class:`HotsetPattern` — clustering/reduction workloads (Kmeans): a
   small shared hot region (centroids) plus a private streaming sweep.
 
+Post-2017 ML-era families extend the suite beyond the paper's evaluation:
+
+* :class:`GemmTilePattern` — blocked GEMM: output-tile CTAs sweep shared
+  A-row and B-column panels per k-step (dense cross-CTA reuse).
+* :class:`AttentionPattern` — attention-style gather: causal
+  recency-skewed reads of a shared KV region plus sink tokens.
+* :class:`AllReducePattern` — ring allreduce: each kernel launch is one
+  ring phase, every CTA pulling a *different* peer shard per phase
+  (``kernel_indexed`` — the stream is a function of the kernel index).
+* :class:`ZipfianPattern` — Zipf-distributed table lookups (embedding
+  gathers), hot entries scattered across the address space.
+* :class:`BurstyPattern` — short dense runs at hot bases (MoE expert
+  dispatch, KV-block paging).
+
 Whether a pattern re-rolls its addresses on every kernel launch is part of
 its semantics (``kernel_variant``): solvers re-touch the same data each
-iteration; graph frontiers move.
+iteration; graph frontiers move.  Patterns whose stream is a
+*deterministic* function of the launch position instead declare
+``kernel_indexed`` and receive the kernel index as an argument.
 """
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from typing import Dict
 
@@ -33,6 +50,13 @@ class AccessPattern(ABC):
     #: When True the address stream differs between kernel launches
     #: (the generator RNG is seeded with the kernel index as well).
     kernel_variant = False
+
+    #: When True, :meth:`generate` accepts a ``kernel_index`` keyword and
+    #: the stream is a deterministic function of it (phase-structured
+    #: algorithms like ring allreduce).  Distinct from ``kernel_variant``:
+    #: an indexed pattern replayed at the same index reproduces the same
+    #: stream, so trace memoization still applies per launch position.
+    kernel_indexed = False
 
     @abstractmethod
     def generate(
@@ -53,6 +77,27 @@ class AccessPattern(ABC):
         """Stable identity string."""
         inner = ",".join(f"{key}={value}" for key, value in sorted(self.params().items()))
         return f"{type(self).__name__}({inner})"
+
+
+#: Registry for configuration-by-name.  Populated by
+#: :func:`register_pattern` at class-definition time, so a new family is
+#: registered (and appears in ``make_pattern`` error listings, spec
+#: validation, and reports) the moment its class is decorated — there is
+#: no second list to update.
+PATTERNS: Dict[str, type] = {}
+
+
+def register_pattern(name: str):
+    """Class decorator adding an :class:`AccessPattern` to the registry."""
+
+    def wrap(pattern_cls: type) -> type:
+        if name in PATTERNS:
+            raise ValueError(f"pattern name {name!r} is already registered")
+        PATTERNS[name] = pattern_cls
+        pattern_cls.pattern_name = name
+        return pattern_cls
+
+    return wrap
 
 
 def line_array(addrs) -> np.ndarray:
@@ -80,6 +125,7 @@ def _chunk_bounds(cta_index: int, n_ctas: int, footprint_lines: int) -> range:
     return range(start, start + max(1, count))
 
 
+@register_pattern("streaming")
 class StreamingPattern(AccessPattern):
     """Sequential sweep over the CTA's private chunk, wrapping on overflow."""
 
@@ -98,6 +144,7 @@ class StreamingPattern(AccessPattern):
         return {"stride": self.stride}
 
 
+@register_pattern("stencil")
 class StencilPattern(AccessPattern):
     """Chunked sweep plus halo exchanges with neighboring CTAs' chunks.
 
@@ -144,6 +191,7 @@ class StencilPattern(AccessPattern):
         return {"halo_fraction": self.halo_fraction, "halo_lines": self.halo_lines}
 
 
+@register_pattern("irregular")
 class IrregularPattern(AccessPattern):
     """Uniform random accesses with an optional hot (high-degree) region.
 
@@ -197,6 +245,7 @@ class IrregularPattern(AccessPattern):
         }
 
 
+@register_pattern("hotset")
 class HotsetPattern(AccessPattern):
     """Shared hot region plus a private streaming sweep.
 
@@ -230,6 +279,7 @@ class HotsetPattern(AccessPattern):
         return {"hot_fraction": self.hot_fraction, "hot_lines": self.hot_lines}
 
 
+@register_pattern("banded")
 class BandedPattern(AccessPattern):
     """Private streaming plus a band region shared by contiguous CTAs.
 
@@ -312,6 +362,7 @@ class BandedPattern(AccessPattern):
         }
 
 
+@register_pattern("global_stride")
 class GlobalStridePattern(AccessPattern):
     """CTA-interleaved global sweep: CTA ``i`` touches lines i, i+N, i+2N...
 
@@ -350,15 +401,320 @@ class GlobalStridePattern(AccessPattern):
         return {"stride_ctas": self.stride_ctas, "shuffle": self.shuffle}
 
 
-#: Registry for configuration-by-name.
-PATTERNS = {
-    "streaming": StreamingPattern,
-    "stencil": StencilPattern,
-    "irregular": IrregularPattern,
-    "hotset": HotsetPattern,
-    "banded": BandedPattern,
-    "global_stride": GlobalStridePattern,
-}
+@register_pattern("gemm_tile")
+class GemmTilePattern(AccessPattern):
+    """Blocked GEMM (C = A·B) with output-tile CTAs and panel reuse.
+
+    The footprint is laid out as [A panels | B panels | C tiles].  CTAs
+    form a near-square 2-D grid over C: CTA ``(r, c)`` sweeps A panel
+    ``r`` and B panel ``c`` once per k-step and finishes with its private
+    C tile.  Every CTA in grid row ``r`` re-reads the same A panel and
+    every CTA in grid column ``c`` the same B panel — the dense
+    cross-CTA reuse that tiling exists to create.  Row-mates are
+    contiguous in CTA index (co-scheduled onto one GPM by the distributed
+    scheduler), so A-panel reuse turns GPM-local, while column-mates are
+    spread across the grid and keep B panels inter-GPM: GEMM stresses
+    both sides of the MCM locality story at once.
+
+    The stream is a pure function of the CTA index (training steps
+    re-touch the same operand layout), so iterative kernels hit the trace
+    memo and the L1.5 sees genuine cross-kernel reuse.
+    """
+
+    kernel_variant = False
+
+    def __init__(self, k_steps: int = 4, c_fraction: float = 0.2) -> None:
+        if k_steps <= 0:
+            raise ValueError(f"k_steps must be positive, got {k_steps}")
+        if not 0.0 < c_fraction < 1.0:
+            raise ValueError(f"c_fraction must be in (0, 1), got {c_fraction}")
+        self.k_steps = k_steps
+        self.c_fraction = c_fraction
+
+    def generate(self, cta_index, n_ctas, n_accesses, footprint_lines, rng):
+        grid_cols = max(1, int(math.isqrt(n_ctas)))
+        grid_rows = -(-n_ctas // grid_cols)
+        row, col = divmod(cta_index, grid_cols)
+        c_lines = max(1, int(footprint_lines * self.c_fraction))
+        panel_lines = max(1, (footprint_lines - c_lines) // 2)
+        a_base, b_base = 0, panel_lines
+        c_base = min(2 * panel_lines, footprint_lines - 1)
+        c_lines = footprint_lines - c_base
+        a_panel = _chunk_bounds(row % grid_rows, grid_rows, panel_lines)
+        b_panel = _chunk_bounds(col % grid_cols, grid_cols, panel_lines)
+        c_tile = _chunk_bounds(cta_index, n_ctas, c_lines)
+        n_c = max(1, int(n_accesses * self.c_fraction))
+        n_panels = n_accesses - n_c
+        per_step = max(1, n_panels // (2 * self.k_steps))
+        parts = []
+        produced = 0
+        for step in range(self.k_steps):
+            for base, panel in ((a_base, a_panel), (b_base, b_panel)):
+                if produced >= n_panels:
+                    break
+                count = min(per_step, n_panels - produced)
+                # Each k-step walks the next slice of the panel; slices
+                # wrap, so small panels are simply re-swept (reuse).
+                offsets = (np.arange(count, dtype=np.int64) + step * per_step) % len(panel)
+                parts.append(base + panel.start + offsets)
+                produced += count
+        tail = n_accesses - produced
+        parts.append(c_base + c_tile.start + (np.arange(tail, dtype=np.int64) % len(c_tile)))
+        return np.concatenate(parts) % footprint_lines
+
+    def params(self):
+        return {"k_steps": self.k_steps, "c_fraction": self.c_fraction}
+
+
+@register_pattern("attention")
+class AttentionPattern(AccessPattern):
+    """Causal attention gather over a shared KV region.
+
+    The front ``kv_fraction`` of the footprint is the KV cache shared by
+    all CTAs; the rest is chunk-partitioned query/output state.  Each CTA
+    (a query block at sequence position ``cta_index / n_ctas``) spends
+    ``gather_fraction`` of its accesses gathering keys/values from its
+    *causal prefix* of the KV region with a recency skew (softmax mass
+    concentrates on recent tokens) plus a small always-hot sink at the
+    front (attention-sink tokens).  The remaining accesses sweep the
+    CTA's private chunk sequentially.
+
+    Decode steps shift the attended positions, so the stream re-rolls per
+    kernel launch (``kernel_variant``).
+    """
+
+    kernel_variant = True
+
+    def __init__(
+        self,
+        kv_fraction: float = 0.5,
+        gather_fraction: float = 0.6,
+        recency_skew: float = 3.0,
+        sink_lines: int = 16,
+        sink_fraction: float = 0.1,
+    ) -> None:
+        if not 0.0 < kv_fraction < 1.0:
+            raise ValueError(f"kv_fraction must be in (0, 1), got {kv_fraction}")
+        if not 0.0 <= gather_fraction <= 1.0:
+            raise ValueError(
+                f"gather_fraction must be in [0, 1], got {gather_fraction}"
+            )
+        if recency_skew < 1.0:
+            raise ValueError(f"recency_skew must be >= 1, got {recency_skew}")
+        if sink_lines < 0:
+            raise ValueError(f"sink_lines must be non-negative, got {sink_lines}")
+        if not 0.0 <= sink_fraction <= 1.0:
+            raise ValueError(f"sink_fraction must be in [0, 1], got {sink_fraction}")
+        self.kv_fraction = kv_fraction
+        self.gather_fraction = gather_fraction
+        self.recency_skew = recency_skew
+        self.sink_lines = sink_lines
+        self.sink_fraction = sink_fraction
+
+    def generate(self, cta_index, n_ctas, n_accesses, footprint_lines, rng):
+        kv_lines = max(1, int(footprint_lines * self.kv_fraction))
+        private_lines = max(1, footprint_lines - kv_lines)
+        chunk = _chunk_bounds(cta_index, n_ctas, private_lines)
+        addrs = kv_lines + chunk.start + (
+            np.arange(n_accesses, dtype=np.int64) % len(chunk)
+        )
+        gather_mask = rng.random(n_accesses) < self.gather_fraction
+        n_gather = int(gather_mask.sum())
+        if n_gather:
+            # Causal prefix: query block i attends to keys [0, prefix).
+            prefix = max(1, (kv_lines * (cta_index + 1)) // n_ctas)
+            recency = (1.0 - rng.random(n_gather) ** self.recency_skew) * prefix
+            gathered = recency.astype(np.int64)
+            sinks = min(self.sink_lines, kv_lines)
+            if sinks and self.sink_fraction:
+                sink_mask = rng.random(n_gather) < self.sink_fraction
+                n_sink = int(sink_mask.sum())
+                if n_sink:
+                    gathered[sink_mask] = rng.integers(
+                        0, sinks, size=n_sink, dtype=np.int64
+                    )
+            addrs[gather_mask] = gathered
+        return addrs % footprint_lines
+
+    def params(self):
+        return {
+            "kv_fraction": self.kv_fraction,
+            "gather_fraction": self.gather_fraction,
+            "recency_skew": self.recency_skew,
+            "sink_lines": self.sink_lines,
+            "sink_fraction": self.sink_fraction,
+        }
+
+
+@register_pattern("allreduce")
+class AllReducePattern(AccessPattern):
+    """Ring allreduce: one kernel launch per ring phase.
+
+    The footprint is sharded into ``n_ctas`` gradient chunks.  In phase
+    ``p`` (the kernel index), CTA ``i`` pulls the shard of ring peer
+    ``(i - p - 1) mod n_ctas`` and accumulates into its own shard — the
+    textbook reduce-scatter schedule where the peer *changes every
+    phase*, producing structured all-to-all traffic that no static page
+    placement can localize.  Accesses alternate peer-shard reads with
+    own-shard read-modify-writes in ``accum_ratio`` proportion.
+
+    The stream is a deterministic function of ``(cta_index,
+    kernel_index)`` (``kernel_indexed``): replaying a phase reproduces it
+    exactly, so memoization and export both remain per-launch stable.
+    """
+
+    kernel_indexed = True
+
+    def __init__(self, accum_ratio: float = 0.5) -> None:
+        if not 0.0 < accum_ratio < 1.0:
+            raise ValueError(f"accum_ratio must be in (0, 1), got {accum_ratio}")
+        self.accum_ratio = accum_ratio
+
+    def generate(
+        self, cta_index, n_ctas, n_accesses, footprint_lines, rng, kernel_index=0
+    ):
+        own = _chunk_bounds(cta_index, n_ctas, footprint_lines)
+        peer = (cta_index - kernel_index - 1) % n_ctas
+        remote = _chunk_bounds(peer, n_ctas, footprint_lines)
+        n_own = max(1, int(n_accesses * self.accum_ratio))
+        n_remote = n_accesses - n_own
+        sweep_remote = remote.start + (
+            np.arange(n_remote, dtype=np.int64) % len(remote)
+        )
+        sweep_own = own.start + (np.arange(n_own, dtype=np.int64) % len(own))
+        # Interleave so peer pulls and local accumulation overlap in time
+        # the way a fused reduce kernel issues them.
+        addrs = np.empty(n_accesses, dtype=np.int64)
+        addrs[: 2 * min(n_own, n_remote) : 2] = sweep_remote[: min(n_own, n_remote)]
+        addrs[1 : 2 * min(n_own, n_remote) : 2] = sweep_own[: min(n_own, n_remote)]
+        leftover = abs(n_remote - n_own)
+        if leftover:
+            longer = sweep_remote if n_remote > n_own else sweep_own
+            addrs[n_accesses - leftover :] = longer[len(longer) - leftover :]
+        return addrs % footprint_lines
+
+    def params(self):
+        return {"accum_ratio": self.accum_ratio}
+
+
+@register_pattern("zipfian")
+class ZipfianPattern(AccessPattern):
+    """Zipf-distributed lookups over the footprint (embedding gathers).
+
+    Rank ``k`` is drawn with probability proportional to
+    ``1 / (k + 1)**alpha`` and mapped to a line via a fixed coprime
+    multiplicative scatter, so the hot entries are spread across the
+    address space (hash-sharded embedding tables) rather than packed into
+    one page run.  A ``stream_fraction`` of accesses sweep the CTA's
+    private chunk instead, modeling the dense MLP side of a
+    recommendation model.  Batches change every step, so the stream
+    re-rolls per kernel launch.
+    """
+
+    kernel_variant = True
+
+    #: Knuth's multiplicative-hash constant; made coprime to the footprint
+    #: at sample time so the rank→line scatter is a bijection.
+    SCATTER_MULTIPLIER = 2654435761
+
+    def __init__(self, alpha: float = 0.9, stream_fraction: float = 0.2) -> None:
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        if not 0.0 <= stream_fraction < 1.0:
+            raise ValueError(f"stream_fraction must be in [0, 1), got {stream_fraction}")
+        self.alpha = alpha
+        self.stream_fraction = stream_fraction
+        self._cdf_cache: Dict[int, np.ndarray] = {}
+
+    def _cdf(self, footprint_lines: int) -> np.ndarray:
+        cdf = self._cdf_cache.get(footprint_lines)
+        if cdf is None:
+            weights = 1.0 / np.power(
+                np.arange(1, footprint_lines + 1, dtype=np.float64), self.alpha
+            )
+            cdf = np.cumsum(weights)
+            cdf /= cdf[-1]
+            self._cdf_cache[footprint_lines] = cdf
+        return cdf
+
+    def generate(self, cta_index, n_ctas, n_accesses, footprint_lines, rng):
+        ranks = np.searchsorted(
+            self._cdf(footprint_lines), rng.random(n_accesses), side="left"
+        ).astype(np.int64)
+        multiplier = self.SCATTER_MULTIPLIER % footprint_lines
+        while multiplier < 1 or math.gcd(multiplier, footprint_lines) != 1:
+            multiplier += 1
+        addrs = (ranks * multiplier) % footprint_lines
+        if self.stream_fraction:
+            stream_mask = rng.random(n_accesses) < self.stream_fraction
+            n_stream = int(stream_mask.sum())
+            if n_stream:
+                chunk = _chunk_bounds(cta_index, n_ctas, footprint_lines)
+                addrs[stream_mask] = chunk.start + (
+                    np.arange(n_stream, dtype=np.int64) % len(chunk)
+                )
+        return addrs % footprint_lines
+
+    def params(self):
+        return {"alpha": self.alpha, "stream_fraction": self.stream_fraction}
+
+
+@register_pattern("bursty")
+class BurstyPattern(AccessPattern):
+    """Short dense runs at hot bases (MoE expert dispatch, paged KV).
+
+    Accesses arrive as sequential bursts of ``burst_lines``; each burst's
+    base is drawn from one of ``n_hot`` hot regions (popular experts /
+    resident KV blocks, evenly spaced through the footprint) with
+    probability ``hot_fraction``, uniform elsewhere otherwise.  Token
+    routing changes per step, so the stream re-rolls per kernel launch.
+    """
+
+    kernel_variant = True
+
+    def __init__(
+        self,
+        burst_lines: int = 16,
+        hot_fraction: float = 0.7,
+        n_hot: int = 4,
+        hot_region_lines: int = 128,
+    ) -> None:
+        if burst_lines <= 0:
+            raise ValueError(f"burst_lines must be positive, got {burst_lines}")
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError(f"hot_fraction must be in [0, 1], got {hot_fraction}")
+        if n_hot <= 0:
+            raise ValueError(f"n_hot must be positive, got {n_hot}")
+        if hot_region_lines <= 0:
+            raise ValueError(f"hot_region_lines must be positive, got {hot_region_lines}")
+        self.burst_lines = burst_lines
+        self.hot_fraction = hot_fraction
+        self.n_hot = n_hot
+        self.hot_region_lines = hot_region_lines
+
+    def generate(self, cta_index, n_ctas, n_accesses, footprint_lines, rng):
+        n_bursts = -(-n_accesses // self.burst_lines)
+        bases = rng.integers(0, footprint_lines, size=n_bursts, dtype=np.int64)
+        hot_mask = rng.random(n_bursts) < self.hot_fraction
+        n_hot_bursts = int(hot_mask.sum())
+        if n_hot_bursts:
+            region = min(self.hot_region_lines, max(1, footprint_lines // self.n_hot))
+            experts = rng.integers(0, self.n_hot, size=n_hot_bursts)
+            spacing = max(1, footprint_lines // self.n_hot)
+            starts = (experts * spacing) % footprint_lines
+            bases[hot_mask] = starts + rng.integers(
+                0, region, size=n_hot_bursts, dtype=np.int64
+            )
+        runs = bases[:, None] + np.arange(self.burst_lines, dtype=np.int64)[None, :]
+        return runs.reshape(-1)[:n_accesses] % footprint_lines
+
+    def params(self):
+        return {
+            "burst_lines": self.burst_lines,
+            "hot_fraction": self.hot_fraction,
+            "n_hot": self.n_hot,
+            "hot_region_lines": self.hot_region_lines,
+        }
 
 
 def make_pattern(name: str, **params: object) -> AccessPattern:

@@ -315,6 +315,64 @@ def all_specs() -> List[WorkloadSpec]:
     return m_intensive_specs() + c_intensive_specs() + limited_parallelism_specs()
 
 
+def ml_specs() -> List[WorkloadSpec]:
+    """The post-2017 ML-era extension suite (not part of the paper's 48).
+
+    Eight workloads covering the dominant traffic classes of modern ML
+    training and inference — dense GEMM tiling, attention
+    prefill/decode, ring allreduce, Zipfian embedding gathers, and
+    bursty MoE dispatch — per "Analyzing Machine Learning Workloads"
+    and MGSim/MGMark (PAPERS.md).  Categories reuse the paper's taxonomy
+    so reports can compare like with like: training-side kernels are
+    memory-intensive at full occupancy; decode-style inference is the
+    modern face of limited parallelism.
+    """
+    return [
+        _m_intensive("GEMM-Fwd", "gemm_tile", 780,
+                     [("k_steps", 4), ("c_fraction", 0.2)],
+                     write_fraction=0.12, compute_per_record=24.0,
+                     kernel_iterations=2, suite="ML"),
+        _m_intensive("GEMM-Train", "gemm_tile", 2950,
+                     [("k_steps", 6), ("c_fraction", 0.25)],
+                     write_fraction=0.30, compute_per_record=16.0,
+                     kernel_iterations=2, suite="ML"),
+        _m_intensive("Attn-Prefill", "attention", 1320,
+                     [("kv_fraction", 0.55), ("gather_fraction", 0.55),
+                      ("recency_skew", 2.0)],
+                     write_fraction=0.15, compute_per_record=20.0,
+                     kernel_iterations=2, suite="ML"),
+        _m_intensive("AllReduce-Ring", "allreduce", 1024,
+                     [("accum_ratio", 0.5)],
+                     write_fraction=0.35, compute_per_record=4.0,
+                     kernel_iterations=6, suite="ML"),
+        _m_intensive("DLRM-Embed", "zipfian", 4100,
+                     [("alpha", 0.95), ("stream_fraction", 0.25)],
+                     write_fraction=0.08, compute_per_record=6.0,
+                     kernel_iterations=2, suite="ML"),
+        _m_intensive("MoE-Gate", "bursty", 900,
+                     [("burst_lines", 16), ("hot_fraction", 0.7), ("n_hot", 4)],
+                     write_fraction=0.18, compute_per_record=10.0,
+                     kernel_iterations=2, suite="ML"),
+        _c_intensive("Conv-Winograd", "gemm_tile", 2.0,
+                     [("k_steps", 3), ("c_fraction", 0.3)],
+                     write_fraction=0.15, compute_per_record=130.0,
+                     kernel_iterations=2, suite="ML"),
+        _limited("Attn-Decode", "attention", 96, footprint_kb=2048,
+                 pattern_params=[("kv_fraction", 0.75), ("gather_fraction", 0.8),
+                                 ("recency_skew", 4.0), ("sink_fraction", 0.15)],
+                 write_fraction=0.08, compute_per_record=10.0,
+                 accesses_per_record=2, records_per_group=10, suite="ML"),
+    ]
+
+
+def ml_workloads(fast_factor: Optional[float] = None) -> List[SyntheticWorkload]:
+    """Runnable ML-era workloads (optionally scaled down for fast runs)."""
+    specs = ml_specs()
+    if fast_factor is not None:
+        specs = [spec.scaled_down(fast_factor) for spec in specs]
+    return [SyntheticWorkload(spec) for spec in specs]
+
+
 def specs_by_category() -> Dict[Category, List[WorkloadSpec]]:
     """The suite grouped by paper category."""
     grouped: Dict[Category, List[WorkloadSpec]] = {category: [] for category in Category}
@@ -324,8 +382,8 @@ def specs_by_category() -> Dict[Category, List[WorkloadSpec]]:
 
 
 def spec_by_name(name: str) -> WorkloadSpec:
-    """Look up one workload by its suite name."""
-    for spec in all_specs():
+    """Look up one workload by name (paper suite, then ML extension)."""
+    for spec in all_specs() + ml_specs():
         if spec.name == name:
             return spec
     raise KeyError(f"no workload named {name!r} in the suite")

@@ -155,14 +155,20 @@ class SyntheticWorkload(Workload):
         # Patterns that move between launches see the kernel index in the
         # seed; iterative patterns reproduce the same stream each launch —
         # and hit the trace memo instead of regenerating (for them every
-        # launch shares the seed-0 materialization).
-        seed_kernel = kernel_index if pattern.kernel_variant else 0
+        # launch shares the seed-0 materialization).  Phase-structured
+        # patterns (``kernel_indexed``) receive the kernel index as an
+        # argument and are memoized per launch position like variants.
+        kernel_indexed = pattern.kernel_indexed
+        seed_kernel = (
+            kernel_index if (pattern.kernel_variant or kernel_indexed) else 0
+        )
 
         def build_trace(cta_index: int) -> ColumnarCTATrace:
             records_per_group = spec.records_for_cta(cta_index)
             per_group_accesses = records_per_group * spec.accesses_per_record
             total_accesses = per_group_accesses * spec.groups_per_cta
             rng = rng_for(spec.name, spec.seed, seed_kernel, cta_index)
+            extra = {"kernel_index": kernel_index} if kernel_indexed else {}
             lines = line_array(
                 pattern.generate(
                     cta_index,
@@ -170,6 +176,7 @@ class SyntheticWorkload(Workload):
                     total_accesses,
                     spec.footprint_lines,
                     rng,
+                    **extra,
                 )
             )
             # Keep the generator's vectorization: the whole CTA stream

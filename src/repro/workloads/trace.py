@@ -176,6 +176,17 @@ class ColumnarCTATrace:
         ]
         return cls(addrs, is_write, spans, compute_cycles)
 
+    @property
+    def spans(self) -> List[Tuple[int, int, int]]:
+        """Per-record ``(start, reads_end, end)`` column spans.
+
+        Together with ``addrs`` and ``compute_cycles`` this is the trace's
+        complete semantic content: the engine derives everything else
+        (including the read/write split — ``is_write`` is a convenience
+        view) from these three.  Exporters serialize exactly this triple.
+        """
+        return self._spans
+
     def __len__(self) -> int:
         return self.n_groups
 

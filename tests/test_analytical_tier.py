@@ -149,7 +149,7 @@ class TestBlessedArtifact:
         # The router refuses unfitted rungs, so the artifact must carry a
         # band for every built-in sweep's --fast rung 0.
         calibration = load_calibration()
-        for key in ("link_l15", "page_place", "gpm_count", "smoke", "wide"):
+        for key in ("link_l15", "page_place", "gpm_count", "smoke", "wide", "ml"):
             plan = build_plan(key, fast=True)
             band_key = score_band_key(plan.spec.name, plan.rungs[0][0])
             assert band_key in calibration.score_bands, f"missing {band_key}"

@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.core",
     "repro.experiments",
     "repro.explore",
+    "repro.ingest",
     "repro.interconnect",
     "repro.memory",
     "repro.multigpu",

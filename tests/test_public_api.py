@@ -52,8 +52,8 @@ class TestExports:
             "table1", "table2", "table3", "table4",
             "fig2", "fig4", "fig6", "fig7", "fig9", "fig10",
             "fig13", "fig14", "fig15", "fig16", "fig17",
-            "topology", "gpm-scaling", "sched-ablation", "page-ablation",
-            "migration-ablation",
+            "topology", "gpm-scaling", "ml-workloads", "sched-ablation",
+            "page-ablation", "migration-ablation",
         }
         assert set(EXPERIMENTS) == expected
         for module, entry in EXPERIMENTS.values():
