@@ -6,6 +6,7 @@ Usage:
     python scripts/validate.py properties         # metamorphic config sweeps
     python scripts/validate.py fidelity [--fast]  # paper shape-fidelity bands
     python scripts/validate.py ml [--fast]        # ML-era suite fidelity bands
+    python scripts/validate.py topology [--fast]  # cross-topology hop bands
     python scripts/validate.py golden [--bless]   # golden-metrics drift gate
     python scripts/validate.py quick properties   # tiers combine freely
 
@@ -23,7 +24,7 @@ import os
 import sys
 import time
 
-TIERS = ("quick", "properties", "fidelity", "ml", "golden")
+TIERS = ("quick", "properties", "fidelity", "ml", "topology", "golden")
 
 
 def run_quick(opts) -> bool:
@@ -83,6 +84,15 @@ def run_ml_tier(opts) -> bool:
     return all(check.passed for check in checks)
 
 
+def run_topology_tier(opts) -> bool:
+    """Cross-topology hop-ratio bands at 8 GPMs."""
+    from repro.validate.fidelity import report, run_topology_fidelity
+
+    checks = run_topology_fidelity(fast=opts.fast)
+    print(report(checks))
+    return all(check.passed for check in checks)
+
+
 def run_golden_tier(opts) -> bool:
     """Golden-metrics snapshot: bless or diff."""
     from pathlib import Path
@@ -108,6 +118,7 @@ RUNNERS = {
     "properties": run_properties_tier,
     "fidelity": run_fidelity_tier,
     "ml": run_ml_tier,
+    "topology": run_topology_tier,
     "golden": run_golden_tier,
 }
 

@@ -30,7 +30,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, Mapping
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Tuple
+
+from ..interconnect import topology as _topology
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (config imports nothing from us)
     from .config import SystemConfig
@@ -97,68 +99,47 @@ def ring_average_hops(n_gpms: int) -> float:
 
 
 def average_hops(n_gpms: int, topology: str = "ring") -> float:
-    """Mean shortest-path hops between distinct nodes for a topology."""
-    if topology == "fully_connected":
-        return 0.0 if n_gpms <= 1 else 1.0
-    if topology == "ring":
-        return ring_average_hops(n_gpms)
-    raise ValueError(f"unknown topology {topology!r}")
+    """Mean shortest-path hops between distinct nodes for a topology.
+
+    Dispatches through the :mod:`repro.interconnect.topology` registry
+    (BFS over the fabric's edge list); unknown topologies fail loudly.
+    For the ring this matches :func:`ring_average_hops` exactly.
+    """
+    return _topology.average_hops(topology, n_gpms)
 
 
-def remote_distance_pmf(n_gpms: int, topology: str = "ring"):
+def remote_distance_pmf(n_gpms: int, topology: str = "ring") -> List[Tuple[int, float]]:
     """Distribution of shortest-path hop counts to a *remote* node.
 
     Returns ``[(hops, probability), ...]`` over the ``n - 1`` remote
-    destinations of one node, uniformly weighted.  The latency model
-    needs the full distribution (not just the mean): a trace record's
-    memory time is the *max* over its accesses' round trips, and the
-    slowest leg is governed by the tail of this distribution, which
-    stretches with ring size.
+    destinations of one node, uniformly weighted, computed by BFS from
+    the topology registry's edge list.  The latency model needs the full
+    distribution (not just the mean): a trace record's memory time is
+    the *max* over its accesses' round trips, and the slowest leg is
+    governed by the tail of this distribution, which stretches with
+    fabric size.
+    """
+    return _topology.remote_distance_pmf(topology, n_gpms)
+
+
+def topology_ports(n_gpms: int, topology: str = "ring") -> float:
+    """Mean directional links touching one GPM (its network port count).
+
+    Derived from the registry's edge list (``2 * links / n``), so it is
+    exact for node-symmetric fabrics — a ring of three or more nodes
+    gives every GPM four directional links, the degenerate two-node ring
+    has a single pair (two ports), all-to-all has an in/out pair per
+    peer — and an average for irregular ones (mesh corner nodes have
+    fewer ports than interior nodes).
     """
     if n_gpms <= 1:
-        return []
-    if topology == "fully_connected":
-        return [(1, 1.0)]
-    if topology == "ring":
-        counts: Dict[int, int] = {}
-        for distance in range(1, n_gpms // 2 + 1):
-            # Both directions reach distance d, except the antipode of an
-            # even ring which is a single destination.
-            counts[distance] = 1 if (n_gpms % 2 == 0 and distance == n_gpms // 2) else 2
-        total = n_gpms - 1
-        return [(d, c / total) for d, c in sorted(counts.items())]
-    raise ValueError(f"unknown topology {topology!r}")
-
-
-def topology_ports(n_gpms: int, topology: str = "ring") -> int:
-    """Directional links touching one GPM (its network port count).
-
-    A ring of three or more nodes gives every GPM four directional links
-    (in/out toward each of two distinct neighbors).  The degenerate
-    two-node "ring" has a single neighbor pair, so each GPM touches only
-    two directional links.  A fully connected fabric gives each GPM an
-    in/out pair per peer.
-    """
-    if n_gpms <= 1:
-        return 0
-    if topology == "fully_connected":
-        return 2 * (n_gpms - 1)
-    if topology == "ring":
-        return 2 if n_gpms == 2 else 4
-    raise ValueError(f"unknown topology {topology!r}")
+        return 0.0
+    return _topology.mean_ports(topology, n_gpms)
 
 
 def topology_link_count(n_gpms: int, topology: str = "ring") -> int:
-    """Distinct directional links in the fabric."""
-    # Each undirected adjacency contributes two directional links, so the
-    # count is just ports * n / 2; spelled out per topology for clarity.
-    if n_gpms <= 1:
-        return 0
-    if topology == "fully_connected":
-        return n_gpms * (n_gpms - 1)
-    if topology == "ring":
-        return 2 if n_gpms == 2 else 2 * n_gpms
-    raise ValueError(f"unknown topology {topology!r}")
+    """Distinct directional links in the fabric (two per physical pair)."""
+    return _topology.link_count(topology, n_gpms)
 
 
 @dataclass(frozen=True)
@@ -178,8 +159,8 @@ class BandwidthRequirement:
     per_link_volume: float
     #: Distinct directional links in the fabric.
     n_links: int = 0
-    #: Directional links touching one GPM.
-    ports_per_gpm: int = 0
+    #: Mean directional links touching one GPM.
+    ports_per_gpm: float = 0.0
 
 
 def required_link_bandwidth(
@@ -244,6 +225,103 @@ def expected_slowdown_bound(
     if required_per_gpm <= 0:
         return 1.0
     return min(1.0, link_bandwidth_per_gpm / required_per_gpm)
+
+
+@dataclass(frozen=True)
+class CollapsePoint:
+    """Where a topology's fabric stops keeping DRAM busy at scale.
+
+    Two independent bounds, both as the minimum per-link bandwidth
+    *setting* (GB/s, the ``config.link_bandwidth`` knob) at which the
+    fabric just meets uniform-traffic demand; below either, bandwidth-
+    bound workloads degrade:
+
+    * **port-limited** — the average directional link must carry its
+      share of hop volume within its half-duplex capacity;
+    * **bisection-limited** — traffic crossing the half-split must fit
+      the bisection bandwidth.  For the hierarchical fabric the bisection
+      is a *fixed* board ring that does not scale with the link setting,
+      so past a node count no setting suffices (``math.inf``).
+    """
+
+    topology: str
+    n_gpms: int
+    #: Uniform cross-half traffic demand, GB/s (both directions).
+    bisection_demand: float
+    #: Minimum link setting to satisfy the per-link volume bound.
+    port_limited_gbps: float
+    #: Minimum link setting to satisfy the bisection bound (inf when the
+    #: fabric's fixed bottleneck is below demand at any setting).
+    bisection_limited_gbps: float
+
+    @property
+    def collapse_gbps(self) -> float:
+        """The binding bound: the larger of the two minima."""
+        return max(self.port_limited_gbps, self.bisection_limited_gbps)
+
+    @property
+    def board_limited(self) -> bool:
+        """True when no link setting can meet demand (fixed bottleneck)."""
+        return math.isinf(self.bisection_limited_gbps)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary for reports and artifacts (inf as ``null``)."""
+        bisection = self.bisection_limited_gbps
+        collapse = self.collapse_gbps
+        return {
+            "topology": self.topology,
+            "n_gpms": self.n_gpms,
+            "bisection_demand_gbps": self.bisection_demand,
+            "port_limited_gbps": self.port_limited_gbps,
+            "bisection_limited_gbps": None if math.isinf(bisection) else bisection,
+            "collapse_gbps": None if math.isinf(collapse) else collapse,
+            "board_limited": self.board_limited,
+        }
+
+
+def bisection_collapse(
+    n_gpms: int,
+    topology: str = "ring",
+    dram_bandwidth_per_partition: float = 768.0,
+    l2_hit_rate: float = 0.5,
+) -> CollapsePoint:
+    """Find a topology's collapse point under uniform traffic.
+
+    Uses the Section 3.3.1 demand model (each L2 slice supplies
+    ``b / (1 - h)``, a ``(n-1)/n`` fraction of it remote) and the
+    topology registry's bisection accounting.  The 4-GPM ring reproduces
+    the paper's sizing result: both bounds land at the 1.5 TB/s setting
+    below which Figure 4 shows degradation.
+    """
+    if n_gpms <= 1:
+        return CollapsePoint(topology, n_gpms, 0.0, 0.0, 0.0)
+    requirement = required_link_bandwidth(
+        n_gpms, dram_bandwidth_per_partition, l2_hit_rate, topology
+    )
+    # Port bound: the mean directional link carries per_link_volume and
+    # has capacity link_setting / 2.
+    port_limited = 2.0 * requirement.per_link_volume
+    # Bisection bound: egress spread uniformly over n-1 destinations;
+    # ordered cross-half pairs each carry egress / (n-1).
+    half = n_gpms // 2
+    cross_pairs = 2 * half * (n_gpms - half)
+    demand = requirement.egress_per_gpm * cross_pairs / (n_gpms - 1)
+    # bisection(setting) = fixed + slope * setting, from two probes.
+    fixed = _topology.bisection_bandwidth(topology, n_gpms, 0.0)
+    slope = _topology.bisection_bandwidth(topology, n_gpms, 1.0) - fixed
+    if demand <= fixed:
+        bisection_limited = 0.0
+    elif slope <= 0.0:
+        bisection_limited = math.inf
+    else:
+        bisection_limited = (demand - fixed) / slope
+    return CollapsePoint(
+        topology=topology,
+        n_gpms=n_gpms,
+        bisection_demand=demand,
+        port_limited_gbps=port_limited,
+        bisection_limited_gbps=bisection_limited,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -454,6 +532,13 @@ def predict_cycles(profile: "WorkloadProfile", config: "SystemConfig") -> Analyt
     response_bytes_k = hops * remote_loads_after_l15 * response_bytes
     link_bytes_k = request_bytes_k + response_bytes_k
     n_links = topology_link_count(n, config.topology)
+    # Aggregate per-channel capacity: n_links directions, each at half the
+    # per-link full-duplex total.  Rev 7 introduced this split to fix a
+    # "systematic 2-GPM underprediction" — which turned out to be partly
+    # the simulator's stranded-link bug (two parallel pairs of which
+    # routing used one).  Since rev 8 the two-node ring really does have
+    # n_links == 2 physical directions, so this count is the fabric's
+    # honest capacity with no compensation baked in.
     channel_capacity = n_links * config.link_bandwidth / 2.0
     uniform_traffic = config.placement in UNIFORM_PLACEMENTS
     if channel_capacity <= 0:
@@ -576,10 +661,12 @@ def predicted_objectives(
     """Analytical stand-in for ``explore.search.objectives_of``.
 
     Same keys (``geomean_speedup`` / ``link_bandwidth`` /
-    ``energy_joules``) so screened-out candidates still rank and plot,
-    with energy derived from predicted traffic through the same
-    per-tier energy model the simulator uses.
+    ``energy_joules`` / ``area_mm2``) so screened-out candidates still
+    rank and plot, with energy derived from predicted traffic through
+    the same per-tier energy model the simulator uses and area from the
+    budget cost model (exact — no prediction involved).
     """
+    from .budget import package_cost
     from .energy import IntegrationTier, breakdown_from_traffic
 
     tier = IntegrationTier(candidate.link_tier)
@@ -605,4 +692,5 @@ def predicted_objectives(
         "geomean_speedup": math.exp(log_sum / count),
         "link_bandwidth": float(candidate.link_bandwidth),
         "energy_joules": energy,
+        "area_mm2": package_cost(candidate).area_mm2,
     }

@@ -1,0 +1,221 @@
+"""Package-level area/power budget model (lumos-style cost accounting).
+
+Turns any :class:`~repro.core.config.SystemConfig` into a silicon cost —
+area in mm² and peak power in watts, broken down by component — so the
+explore layer can answer "best achievable performance under a fixed
+package budget" instead of just "fastest configuration".  The structure
+follows the lumos ``mpsoc.py`` exemplar: per-unit area/power constants
+for logic and SRAM, PHY cost proportional to installed bandwidth, and a
+budget object that renders a feasibility verdict.
+
+Constants are calibrated so the paper's 4-GPM baseline lands near a
+plausible big-GPU package (~600 mm² of silicon, ~340 W peak): 1.6 mm²
+and 0.9 W per SM reflect a P100-class die (56 SMs + uncore in 610 mm²
+at 300 W), SRAM at 1.5 mm²/MB, and PHY area proportional to installed
+bandwidth.  Energy-proportional link and DRAM power reuse the Table 2
+per-bit figures from :mod:`repro.core.energy` — including the
+previously-unreferenced :data:`~repro.core.energy.TIER_BANDWIDTH_GBPS`
+practical bandwidth ceilings, which back the per-tier bandwidth
+feasibility check.  SRAM capacities are divided by
+:data:`~repro.core.config.MEMORY_SCALE` to recover full-scale silicon
+from the simulator's scaled-capacity configs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict
+
+from ..interconnect.topology import total_fabric_bandwidth
+from .config import MEMORY_SCALE
+from .energy import (
+    DRAM_PJ_PER_BIT,
+    ENERGY_PJ_PER_BIT,
+    TIER_BANDWIDTH_GBPS,
+    IntegrationTier,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .config import SystemConfig
+
+#: Area of one SM including its share of uncore logic, mm².
+AREA_PER_SM_MM2 = 1.6
+#: Area of one MB of on-die SRAM (cache arrays + tags + control), mm².
+SRAM_MM2_PER_MB = 1.5
+#: DRAM interface PHY area per GB/s of interface bandwidth, mm².
+DRAM_PHY_MM2_PER_GBPS = 0.02
+#: Inter-module link PHY area per GB/s, per endpoint, mm² (GRS-class).
+LINK_PHY_MM2_PER_GBPS = 0.01
+#: Peak power of one busy SM, watts.
+WATTS_PER_SM = 0.9
+#: Leakage + refresh power per MB of SRAM, watts.
+SRAM_WATTS_PER_MB = 0.05
+
+MB = float(1 << 20)
+
+
+@dataclass(frozen=True)
+class PackageCost:
+    """Area/power breakdown of one configuration's package."""
+
+    #: Configuration name the cost was computed for.
+    system: str
+    sm_area_mm2: float
+    sram_area_mm2: float
+    dram_phy_area_mm2: float
+    link_phy_area_mm2: float
+    sm_watts: float
+    sram_watts: float
+    dram_watts: float
+    link_watts: float
+
+    @property
+    def area_mm2(self) -> float:
+        """Total silicon area of the package."""
+        return (
+            self.sm_area_mm2
+            + self.sram_area_mm2
+            + self.dram_phy_area_mm2
+            + self.link_phy_area_mm2
+        )
+
+    @property
+    def power_w(self) -> float:
+        """Peak package power."""
+        return self.sm_watts + self.sram_watts + self.dram_watts + self.link_watts
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary for reports and artifacts."""
+        return {
+            "system": self.system,
+            "sm_area_mm2": self.sm_area_mm2,
+            "sram_area_mm2": self.sram_area_mm2,
+            "dram_phy_area_mm2": self.dram_phy_area_mm2,
+            "link_phy_area_mm2": self.link_phy_area_mm2,
+            "area_mm2": self.area_mm2,
+            "sm_watts": self.sm_watts,
+            "sram_watts": self.sram_watts,
+            "dram_watts": self.dram_watts,
+            "link_watts": self.link_watts,
+            "power_w": self.power_w,
+        }
+
+
+def full_scale_sram_mb(config: "SystemConfig") -> float:
+    """Total cache SRAM at full scale (undoes ``MEMORY_SCALE``), MB."""
+    scaled_bytes = (
+        config.total_sms * config.gpm.sm.l1.size_bytes
+        + config.total_l15_bytes
+        + config.total_l2_bytes
+    )
+    return scaled_bytes / MEMORY_SCALE / MB
+
+
+def package_cost(config: "SystemConfig") -> PackageCost:
+    """Cost out one configuration's package.
+
+    Link PHY area charges every undirected fabric edge at both endpoints
+    (via the topology registry's installed-bandwidth total, so the
+    hierarchical fabric's fixed-rate board links are priced at their
+    actual bandwidth, not the package-link setting).  Link and DRAM
+    power are energy-proportional at peak: Table 2 pJ/bit times
+    installed bandwidth.
+    """
+    sram_mb = full_scale_sram_mb(config)
+    fabric_gbps = (
+        total_fabric_bandwidth(config.topology, config.n_gpms, config.link_bandwidth)
+        if config.n_gpms > 1
+        else 0.0
+    )
+    dram_gbps = config.total_dram_bandwidth
+    tier = IntegrationTier(config.link_tier)
+    # W per GB/s at p pJ/bit: 8 bits/byte * p pJ/bit * 1e9 B/s * 1e-12 J/pJ.
+    link_w_per_gbps = 8.0 * ENERGY_PJ_PER_BIT[tier] * 1e-3
+    dram_w_per_gbps = 8.0 * DRAM_PJ_PER_BIT * 1e-3
+    return PackageCost(
+        system=config.name,
+        sm_area_mm2=config.total_sms * AREA_PER_SM_MM2,
+        sram_area_mm2=sram_mb * SRAM_MM2_PER_MB,
+        dram_phy_area_mm2=dram_gbps * DRAM_PHY_MM2_PER_GBPS,
+        link_phy_area_mm2=2.0 * fabric_gbps * LINK_PHY_MM2_PER_GBPS,
+        sm_watts=config.total_sms * WATTS_PER_SM,
+        sram_watts=sram_mb * SRAM_WATTS_PER_MB,
+        dram_watts=dram_gbps * dram_w_per_gbps,
+        link_watts=fabric_gbps * link_w_per_gbps,
+    )
+
+
+def bandwidth_feasible(config: "SystemConfig") -> bool:
+    """Whether the per-link setting fits its tier's practical ceiling.
+
+    Checks ``config.link_bandwidth`` against Table 2's
+    :data:`~repro.core.energy.TIER_BANDWIDTH_GBPS` for the config's link
+    tier (1.5 TB/s package, 256 GB/s board, ...).  Single-module systems
+    are trivially feasible.  The monolithic presets' idealized 32 TB/s
+    on-die fabric intentionally exceeds the chip-tier figure — they model
+    the paper's *unbuildable* reference and report as infeasible here.
+    """
+    if config.n_gpms <= 1:
+        return True
+    ceiling = TIER_BANDWIDTH_GBPS[IntegrationTier(config.link_tier)]
+    return config.link_bandwidth <= ceiling
+
+
+@dataclass(frozen=True)
+class BudgetSpec:
+    """A fixed package budget: maximum area and peak power."""
+
+    area_mm2: float
+    power_w: float
+    name: str = "budget"
+
+
+#: Default study budget: a generous-but-finite future package (reticle-
+#: stitched interposer, ~2.5x today's biggest die, 1.5 kW liquid-cooled).
+#: Sized so 8 GPMs fit every topology, 16 GPMs fit only port-frugal
+#: fabrics (fully-connected link PHY blows the area), and 64 GPMs fit
+#: nothing — the budget cliff the scale-out study is built around.
+DEFAULT_BUDGET = BudgetSpec(area_mm2=2500.0, power_w=1500.0, name="default-package")
+
+
+@dataclass(frozen=True)
+class BudgetVerdict:
+    """Feasibility of one configuration under one budget."""
+
+    cost: PackageCost
+    budget: BudgetSpec
+    area_ok: bool
+    power_ok: bool
+    bandwidth_ok: bool
+
+    @property
+    def feasible(self) -> bool:
+        """True when every budget dimension is satisfied."""
+        return self.area_ok and self.power_ok and self.bandwidth_ok
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary for reports and artifacts."""
+        return {
+            "system": self.cost.system,
+            "budget": self.budget.name,
+            "area_mm2": self.cost.area_mm2,
+            "power_w": self.cost.power_w,
+            "area_ok": self.area_ok,
+            "power_ok": self.power_ok,
+            "bandwidth_ok": self.bandwidth_ok,
+            "feasible": self.feasible,
+        }
+
+
+def evaluate_budget(
+    config: "SystemConfig", budget: BudgetSpec = DEFAULT_BUDGET
+) -> BudgetVerdict:
+    """Cost out a configuration and check it against a budget."""
+    cost = package_cost(config)
+    return BudgetVerdict(
+        cost=cost,
+        budget=budget,
+        area_ok=cost.area_mm2 <= budget.area_mm2,
+        power_ok=cost.power_w <= budget.power_w,
+        bandwidth_ok=bandwidth_feasible(config),
+    )

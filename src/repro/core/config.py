@@ -32,10 +32,13 @@ CLOCK_HZ = 1.0e9
 #: moves CTA placement for kernels whose initial wave has empty traces;
 #: rev 7: antipodal ring routes tie-break by source parity instead of
 #: always clockwise, which moves half the opposite-corner traffic onto the
-#: previously idle direction on even-sized rings).  Included in
+#: previously idle direction on even-sized rings; rev 8: the degenerate
+#: two-node ring collapses to a single physical link pair — the general
+#: construction built two parallel pairs of which routing could only ever
+#: use one, stranding half the modeled link bandwidth).  Included in
 #: configuration digests so the disk result cache never serves results
 #: from an older model.
-MODEL_REV = 7
+MODEL_REV = 8
 
 
 def scaled_bytes(full_size_bytes: int, scale: float = MEMORY_SCALE) -> int:
@@ -187,9 +190,10 @@ class SystemConfig:
     #: Integration tier of the inter-module links ("package" for MCM rings,
     #: "board" for multi-GPU); selects the energy cost per bit (Table 2).
     link_tier: str = "package"
-    #: Inter-GPM topology: "ring" (the paper's baseline) or
-    #: "fully_connected" (the Section 3.2 alternative explored by the
-    #: topology_study experiment).
+    #: Inter-GPM topology, validated against the
+    #: :mod:`repro.interconnect.topology` registry: "ring" (the paper's
+    #: baseline), "fully_connected", "mesh", "torus", or "hierarchical"
+    #: (package rings bridged by a fixed board ring).
     topology: str = "ring"
 
     def __post_init__(self) -> None:
@@ -199,8 +203,11 @@ class SystemConfig:
             raise ValueError("multi-module systems need positive link bandwidth")
         if self.scheduler not in ("centralized", "distributed", "dynamic"):
             raise ValueError(f"unknown scheduler {self.scheduler!r}")
-        if self.topology not in ("ring", "fully_connected"):
-            raise ValueError(f"unknown topology {self.topology!r}")
+        # Imported here, not at module top: keeps config importable without
+        # pulling the whole interconnect package in at definition time.
+        from ..interconnect.topology import get_topology
+
+        get_topology(self.topology)  # raises ValueError with known names
         if self.placement not in PLACEMENT_POLICIES:
             known = ", ".join(sorted(PLACEMENT_POLICIES))
             raise ValueError(

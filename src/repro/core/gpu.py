@@ -10,8 +10,7 @@ from __future__ import annotations
 
 from typing import List
 
-from ..interconnect.fully_connected import FullyConnectedNetwork
-from ..interconnect.ring import RingNetwork
+from ..interconnect.topology import build_network
 from ..memory.address import AddressMap
 from ..memory.page_table import PageTable
 from ..memory.placement import make_placement
@@ -33,18 +32,15 @@ class GPUSystem:
             self.address_map,
             make_placement(config.placement, config.n_gpms),
         )
-        if config.topology == "fully_connected":
-            self.ring = FullyConnectedNetwork(
-                n_nodes=config.n_gpms,
-                link_bandwidth_bytes_per_cycle=config.link_bandwidth,
-                hop_latency_cycles=config.hop_latency,
-            )
-        else:
-            self.ring = RingNetwork(
-                n_nodes=config.n_gpms,
-                link_bandwidth_bytes_per_cycle=config.link_bandwidth,
-                hop_latency_cycles=config.hop_latency,
-            )
+        #: The inter-GPM fabric.  Named ``ring`` for historical reasons;
+        #: the topology registry can hand back any registered network
+        #: (ring, fully connected, mesh, torus, hierarchical).
+        self.ring = build_network(
+            config.topology,
+            config.n_gpms,
+            config.link_bandwidth,
+            config.hop_latency,
+        )
         self.gpms: List[GPM] = []
         next_sm_id = 0
         for gpm_id in range(config.n_gpms):

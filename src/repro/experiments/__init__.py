@@ -23,6 +23,7 @@ from . import (
     fig17_multigpu,
     gpm_scaling,
     ml_workloads,
+    scaleout_study,
     table1_history,
     table2_domains,
     table3_baseline,
@@ -50,6 +51,7 @@ EXPERIMENTS = {
     "fig17": (fig17_multigpu, "run_fig17"),
     # Extension studies beyond the paper's figures.
     "topology": (topology_study, "run_topology_study"),
+    "scaleout": (scaleout_study, "run_scaleout_study"),
     "gpm-scaling": (gpm_scaling, "run_gpm_scaling"),
     "ml-workloads": (ml_workloads, "run_ml_workloads"),
     "sched-ablation": (ablation_scheduler, "run_scheduler_ablation"),

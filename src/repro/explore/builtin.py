@@ -12,9 +12,12 @@ bundling the spec, the baseline to score against, the halving rungs, and
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..core.analytical import bisection_collapse
+from ..core.budget import DEFAULT_BUDGET, evaluate_budget
 from ..core.config import SystemConfig
 from ..core.presets import (
     baseline_mcm_gpu,
@@ -25,9 +28,9 @@ from ..core.presets import (
 from ..workloads.suite import ml_workloads, spec_by_name, suite_workloads
 from ..workloads.synthetic import SyntheticWorkload
 from ..workloads.trace import Workload
-from .pareto import DEFAULT_OBJECTIVES, pareto_front
-from .report import SweepReport
-from .search import Runner, default_runner, successive_halving
+from .pareto import DEFAULT_OBJECTIVES, Objective, pareto_front, pareto_indices
+from .report import ExtraTable, SweepReport
+from .search import Runner, ScoredCandidate, default_runner, successive_halving
 from .sensitivity import find_crossover, oat_sensitivity
 from .spec import Axis, SweepSpec
 
@@ -65,6 +68,13 @@ class SweepPlan:
     #: Workloads for sensitivity and crossover probes (the cheap rung's
     #: set, so exploratory probes never cost full-suite simulations).
     probe_workloads: List[Workload] = field(default_factory=list)
+    #: Pareto objectives for this sweep's frontier (performance up, cost
+    #: down by default; scale-out sweeps swap link bandwidth for area).
+    objectives: Tuple[Objective, ...] = DEFAULT_OBJECTIVES
+    #: Optional deterministic hook mapping the final-rung survivors to
+    #: supplementary :class:`~repro.explore.report.ExtraTable` sections
+    #: (e.g. analytical collapse points, budget feasibility).
+    extras: Optional[Callable[[Sequence[ScoredCandidate]], Dict[str, ExtraTable]]] = None
 
     def __post_init__(self) -> None:
         if not self.probe_workloads and self.rungs:
@@ -305,6 +315,164 @@ def wide_sweep(fast: bool = False, seed: int = 0) -> SweepPlan:
     )
 
 
+#: Topologies and module counts of the scale-out study grid.
+SCALEOUT_TOPOLOGIES = ("ring", "fully_connected", "mesh", "torus", "hierarchical")
+SCALEOUT_GPM_COUNTS = (8, 16, 64)
+
+#: Reduced grid for ``--fast`` (CI): the two new grid fabrics at 8 GPMs.
+SCALEOUT_FAST_TOPOLOGIES = ("mesh", "torus")
+SCALEOUT_FAST_GPM_COUNTS = (8,)
+
+#: Scale-out Pareto objectives: performance up, energy and silicon down.
+#: Link bandwidth is constant across this grid (the axes are topology and
+#: module count), so area replaces it as the hardware-cost dimension.
+SCALEOUT_OBJECTIVES: Tuple[Objective, ...] = (
+    Objective("geomean_speedup", maximize=True),
+    Objective("energy_joules", maximize=False),
+    Objective("area_mm2", maximize=False),
+)
+
+
+def _fmt_gbps(value: float) -> str:
+    """Render a GB/s figure, spelling out the board-limited case."""
+    if math.isinf(value):
+        return "board-limited"
+    return f"{value:.1f}"
+
+
+def scaleout_collapse_table() -> ExtraTable:
+    """Analytical bisection-collapse points for the full scale-out grid.
+
+    Always covers all of :data:`SCALEOUT_TOPOLOGIES` at 8/16/64 GPMs —
+    even under ``--fast``, which shrinks only the *simulated* grid — so
+    the report's analytical table is invariant across modes.
+    """
+    rows: List[List[object]] = []
+    for topology in SCALEOUT_TOPOLOGIES:
+        for n_gpms in SCALEOUT_GPM_COUNTS:
+            point = bisection_collapse(n_gpms, topology=topology)
+            rows.append(
+                [
+                    topology,
+                    n_gpms,
+                    f"{point.bisection_demand:.1f}",
+                    f"{point.port_limited_gbps:.1f}",
+                    _fmt_gbps(point.bisection_limited_gbps),
+                    _fmt_gbps(point.collapse_gbps),
+                ]
+            )
+    return ExtraTable(
+        title="Analytical bisection-collapse points "
+        "(link GB/s below which the fabric bisection saturates)",
+        headers=["Topology", "GPMs", "Demand GB/s", "Port-limited", "Bisection", "Collapse"],
+        rows=rows,
+    )
+
+
+def scaleout_budget_table(finalists: Sequence[ScoredCandidate]) -> ExtraTable:
+    """Budget verdicts plus the budget-constrained Pareto frontier.
+
+    Feasibility is judged against :data:`~repro.core.budget.DEFAULT_BUDGET`
+    (area, power, and per-link bandwidth vs the Table 2 tier caps); the
+    frontier column marks the non-dominated subset of the *feasible*
+    finalists under :data:`SCALEOUT_OBJECTIVES`.
+    """
+    ranked = sorted(finalists, key=lambda item: (-item.score, item.candidate.name))
+    verdicts = [(item, evaluate_budget(item.candidate.config)) for item in ranked]
+    feasible = [item for item, verdict in verdicts if verdict.feasible]
+    frontier_names = {
+        feasible[i].candidate.name
+        for i in pareto_indices(
+            [item.objectives for item in feasible], SCALEOUT_OBJECTIVES
+        )
+    }
+    rows: List[List[object]] = []
+    for item, verdict in verdicts:
+        if not verdict.feasible:
+            limits = [
+                label
+                for label, ok in (
+                    ("area", verdict.area_ok),
+                    ("power", verdict.power_ok),
+                    ("link-tier", verdict.bandwidth_ok),
+                )
+                if not ok
+            ]
+            status = "over " + "+".join(limits)
+        else:
+            status = "feasible"
+        rows.append(
+            [
+                item.candidate.name,
+                f"{item.score:.4f}",
+                f"{verdict.cost.area_mm2:.1f}",
+                f"{verdict.cost.power_w:.1f}",
+                status,
+                "*" if item.candidate.name in frontier_names else "",
+            ]
+        )
+    return ExtraTable(
+        title=f"Budget-constrained frontier (<= {DEFAULT_BUDGET.area_mm2:.0f} mm2, "
+        f"{DEFAULT_BUDGET.power_w:.0f} W; '*' = Pareto-optimal among feasible)",
+        headers=["Candidate", "Score", "Area mm2", "Power W", "Budget", "Frontier"],
+        rows=rows,
+    )
+
+
+def _scaleout_extras(finalists: Sequence[ScoredCandidate]) -> Dict[str, ExtraTable]:
+    """Extras hook for the scale-out sweep: collapse points + budget frontier."""
+    return {
+        "collapse_points": scaleout_collapse_table(),
+        "budget_frontier": scaleout_budget_table(finalists),
+    }
+
+
+def scaleout_sweep(fast: bool = False, seed: int = 0) -> SweepPlan:
+    """Topology x GPM count — the budget-constrained scale-out study.
+
+    Sweeps the paper's baseline GPM (64 SMs, 768 GB/s DRAM each, fixed
+    per-module resources) across five fabric topologies and 8/16/64
+    modules, ranked against the paper's 4-GPM ring.  Simulated rungs use
+    the quarter-scale suite ladder even in full mode: a 64-GPM full-scale
+    suite run costs hours for no added ranking information, and the
+    absolute scale question is answered analytically by the collapse
+    table, which always spans the full 5x3 grid.
+
+    ``--fast`` shrinks the *simulated* grid to mesh/torus at 8 GPMs over
+    the four smoke workloads (the CI topology-smoke job); the analytical
+    extras are unaffected.
+    """
+    base = baseline_mcm_gpu(n_gpms=8, name="mcm-scaleout")
+    if fast:
+        topologies: Tuple[str, ...] = SCALEOUT_FAST_TOPOLOGIES
+        counts: Tuple[int, ...] = SCALEOUT_FAST_GPM_COUNTS
+        specs = [spec_by_name(name) for name in SMOKE_WORKLOADS]
+        rungs = [
+            ("smoke@0.0625", [SyntheticWorkload(s.scaled_down(0.0625)) for s in specs]),
+            ("smoke@0.25", [SyntheticWorkload(s.scaled_down(0.25)) for s in specs]),
+        ]
+    else:
+        topologies = SCALEOUT_TOPOLOGIES
+        counts = SCALEOUT_GPM_COUNTS
+        rungs = _suite_rungs(fast=True)
+    spec = SweepSpec(
+        name="scaleout",
+        base=base,
+        axes=(
+            Axis("topology", topologies, label="topo"),
+            Axis("n_gpms", counts, label="gpms"),
+        ),
+        seed=seed,
+    )
+    return SweepPlan(
+        spec=spec,
+        baseline=baseline_mcm_gpu(),
+        rungs=rungs,
+        objectives=SCALEOUT_OBJECTIVES,
+        extras=_scaleout_extras,
+    )
+
+
 #: Registry of built-in sweeps: key -> (description, plan factory).
 BUILTIN_SWEEPS: Dict[str, Tuple[str, Callable[..., SweepPlan]]] = {
     "link_l15": ("link bandwidth x L1.5 capacity (+ Fig 14 crossover)", link_l15_sweep),
@@ -313,6 +481,7 @@ BUILTIN_SWEEPS: Dict[str, Tuple[str, Callable[..., SweepPlan]]] = {
     "ml": ("link bandwidth x L1.5 over the ML-era suite", ml_sweep),
     "smoke": ("tiny 2x2 CI smoke sweep", smoke_sweep),
     "wide": ("54-point link x L1.5 x page grid (use --analytical)", wide_sweep),
+    "scaleout": ("topology x GPM count with budget frontier", scaleout_sweep),
 }
 
 
@@ -383,7 +552,7 @@ def run_sweep(
     )
     last_rung = len(plan.rungs) - 1
     finalists = [item for item in halving.ranking if item.rung == last_rung]
-    frontier = pareto_front(finalists, DEFAULT_OBJECTIVES)
+    frontier = pareto_front(finalists, plan.objectives)
     sensitivity = oat_sensitivity(
         plan.spec.base,
         plan.spec.axes,
@@ -403,12 +572,14 @@ def run_sweep(
             tolerance=plan.crossover.tolerance,
             runner=runner,
         )
+    extras = plan.extras(finalists) if plan.extras is not None else {}
     return SweepReport(
         spec=plan.spec,
         baseline=plan.baseline,
         halving=halving,
         frontier=frontier,
-        objectives=DEFAULT_OBJECTIVES,
+        objectives=plan.objectives,
         sensitivity=sensitivity,
         crossover=crossover,
+        extras=extras,
     )

@@ -32,6 +32,29 @@ from .sensitivity import AxisSensitivity, CrossoverResult
 from .spec import SweepSpec
 
 
+@dataclass(frozen=True)
+class ExtraTable:
+    """One sweep-specific supplementary table (e.g. analytical collapse points).
+
+    Extras are deterministic by contract — they are serialized into
+    ``report.json`` and must be bit-identical across re-runs, so they may
+    only derive from the spec, the analytical models, and the (already
+    deterministic) ranked candidates.
+    """
+
+    title: str
+    headers: List[str]
+    rows: List[List[object]]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON form for sweep artifacts."""
+        return {
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+        }
+
+
 @dataclass
 class SweepReport:
     """Everything one sweep produced, ready for rendering and serialization."""
@@ -43,10 +66,12 @@ class SweepReport:
     objectives: Tuple[Objective, ...] = DEFAULT_OBJECTIVES
     sensitivity: List[AxisSensitivity] = field(default_factory=list)
     crossover: Optional[CrossoverResult] = None
+    #: Sweep-specific supplementary tables, keyed by a stable slug.
+    extras: Dict[str, ExtraTable] = field(default_factory=dict)
 
     def deterministic_dict(self) -> Dict[str, object]:
         """The run-independent record serialized into ``report.json``."""
-        return {
+        data: Dict[str, object] = {
             "sweep": self.spec.to_dict(),
             "baseline": self.baseline.to_dict(),
             "objectives": [objective.to_dict() for objective in self.objectives],
@@ -57,6 +82,11 @@ class SweepReport:
             "sensitivity": [axis.to_dict() for axis in self.sensitivity],
             "crossover": None if self.crossover is None else self.crossover.to_dict(),
         }
+        if self.extras:
+            data["extras"] = {
+                key: table.to_dict() for key, table in sorted(self.extras.items())
+            }
+        return data
 
     def runtime_dict(self, cache: Optional[ResultCache] = None) -> Dict[str, object]:
         """This run's cost accounting, serialized into ``run.json``."""
@@ -216,6 +246,9 @@ def render_text(report: SweepReport) -> str:
             f"  {verdict}\n"
             f"  probes (value:advantage): {samples}"
         )
+
+    for _, table in sorted(report.extras.items()):
+        sections.append(format_table(table.headers, table.rows, title=table.title))
 
     return "\n\n".join(sections) + "\n"
 

@@ -134,14 +134,18 @@ def objectives_of(
     """Objective vector for Pareto analysis.
 
     ``geomean_speedup`` is maximized; ``link_bandwidth`` (provisioned
-    bytes/cycle — the hardware cost knob of Figs 7/10/14) and
+    bytes/cycle — the hardware cost knob of Figs 7/10/14),
     ``energy_joules`` (total data-movement energy over the evaluated
-    workloads, via :mod:`repro.core.energy`) are minimized.
+    workloads, via :mod:`repro.core.energy`) and ``area_mm2`` (package
+    silicon from :mod:`repro.core.budget`) are minimized.
     """
+    from ..core.budget import package_cost
+
     return {
         "geomean_speedup": score,
         "link_bandwidth": config.link_bandwidth,
         "energy_joules": suite_energy_joules(results),
+        "area_mm2": package_cost(config).area_mm2,
     }
 
 

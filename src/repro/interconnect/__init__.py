@@ -1,4 +1,4 @@
-"""Interconnect substrate: links, the on-package ring, crossbars, board tier."""
+"""Interconnect substrate: links, topologies (ring/FC/mesh/torus/hier), board tier."""
 
 from .board import (
     BOARD_AGGREGATE_GBPS,
@@ -7,8 +7,18 @@ from .board import (
 )
 from .crossbar import GPMCrossbar
 from .fully_connected import FullyConnectedNetwork, iso_budget_link_bandwidth
+from .grid import GraphNetwork
+from .hierarchical import PACKAGE_SIZE, make_hierarchical
 from .link import Link
+from .mesh import grid_dims, make_mesh
 from .ring import CLOCKWISE, COUNTER_CLOCKWISE, RingNetwork
+from .topology import (
+    TopologyDescriptor,
+    build_network,
+    get_topology,
+    topology_names,
+)
+from .torus import make_torus
 
 __all__ = [
     "BOARD_AGGREGATE_GBPS",
@@ -17,8 +27,18 @@ __all__ = [
     "GPMCrossbar",
     "FullyConnectedNetwork",
     "iso_budget_link_bandwidth",
+    "GraphNetwork",
+    "PACKAGE_SIZE",
+    "make_hierarchical",
     "Link",
+    "grid_dims",
+    "make_mesh",
     "CLOCKWISE",
     "COUNTER_CLOCKWISE",
     "RingNetwork",
+    "TopologyDescriptor",
+    "build_network",
+    "get_topology",
+    "topology_names",
+    "make_torus",
 ]

@@ -102,6 +102,15 @@ class FullyConnectedNetwork:
         """Always 1.0 between distinct nodes."""
         return 0.0 if self.n_nodes == 1 else 1.0
 
+    def diameter(self) -> int:
+        """1 between any distinct pair (0 for a single node)."""
+        return 0 if self.n_nodes == 1 else 1
+
+    def bisection_bandwidth(self) -> float:
+        """Bandwidth across the half-split: one direct link per cross pair."""
+        half = self.n_nodes // 2
+        return half * (self.n_nodes - half) * self.link_bandwidth
+
     def reset(self) -> None:
         """Clear all link counters and timing state."""
         for link in self._links.values():

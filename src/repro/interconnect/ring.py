@@ -59,7 +59,17 @@ class RingNetwork:
         self.link_bandwidth = link_bandwidth_bytes_per_cycle
         per_direction = link_bandwidth_bytes_per_cycle / 2.0
         self._links: List[Tuple[Link, Link]] = []
-        if n_nodes > 1:
+        if n_nodes == 2:
+            # Degenerate ring: two nodes share ONE physical link pair
+            # (forward 0->1, backward 1->0), matching the 2-port claim of
+            # the analytical model.  Building the general ring here would
+            # create two parallel pairs of which routing can only ever use
+            # one, silently stranding half the modeled link bandwidth
+            # (rev-8 fix).
+            forward = Link(per_direction, hop_latency_cycles, name=f"{name}.0->1")
+            backward = Link(per_direction, hop_latency_cycles, name=f"{name}.1->0")
+            self._links.append((forward, backward))
+        elif n_nodes > 1:
             for node in range(n_nodes):
                 clockwise = Link(
                     per_direction,
@@ -95,6 +105,10 @@ class RingNetwork:
     def _compute_route(self, src: int, dst: int) -> List[Link]:
         if src == dst or self.n_nodes == 1:
             return []
+        if self.n_nodes == 2:
+            # Single physical pair: forward carries 0->1, backward 1->0.
+            pair = self._links[0]
+            return [pair[CLOCKWISE] if src == 0 else pair[COUNTER_CLOCKWISE]]
         clockwise_hops = (dst - src) % self.n_nodes
         counter_hops = self.n_nodes - clockwise_hops
         path: List[Link] = []
@@ -161,6 +175,22 @@ class RingNetwork:
             if src != dst
         )
         return total / (self.n_nodes * (self.n_nodes - 1))
+
+    def diameter(self) -> int:
+        """Largest shortest-path hop count between any two nodes."""
+        return self.n_nodes // 2
+
+    def bisection_bandwidth(self) -> float:
+        """Bandwidth across the half-split, both directions.
+
+        Splitting a ring in half cuts two links (one for the degenerate
+        two-node ring, which has a single physical pair).
+        """
+        if self.n_nodes <= 1:
+            return 0.0
+        if self.n_nodes == 2:
+            return self.link_bandwidth
+        return 2.0 * self.link_bandwidth
 
     def reset(self) -> None:
         """Clear all link counters and timing state."""

@@ -312,6 +312,113 @@ def evaluate_ml_checks(data: Dict[str, object]) -> List[FidelityCheck]:
     ]
 
 
+#: Topologies exercised by the topology fidelity gate, all at 8 GPMs.
+TOPOLOGY_GATE_TOPOLOGIES = ("ring", "mesh", "torus", "hierarchical", "fully_connected")
+#: Relative slack on the hop-ratio bands.  Interleaved placement spreads
+#: traffic near-uniformly over ordered GPM pairs, so measured link bytes
+#: track ``remote_volume x average_hops`` closely but not exactly (CTA
+#: inhomogeneity, shared lines); r8 measures within ~2% of the hop math
+#: on every topology, so +-15% flags real routing regressions without
+#: tripping on workload mix.
+TOPOLOGY_HOP_SLACK = 0.15
+
+
+def run_topology_fidelity(fast: bool = False) -> List[FidelityCheck]:
+    """Relational bands over the registry topologies at 8 GPMs.
+
+    Runs the golden workload subset on an 8-GPM baseline under every
+    registered topology (uniform interleave, so traffic volume between
+    GPM pairs is near-uniform and topology-independent) and checks that
+    each fabric's measured link traffic is the single-hop fully-connected
+    reference times its average hop count — the conservation law that
+    pins routing, not calibration.  A hierarchy-specific band asserts the
+    fixed 256 GB/s board ring actually costs cycles relative to the
+    all-package ring.
+    """
+    from dataclasses import replace as _replace
+
+    from ..core.presets import baseline_mcm_gpu as _baseline
+    from .golden import GOLDEN_WORKLOADS
+
+    wanted = set(GOLDEN_WORKLOADS)
+    workloads = [
+        workload
+        for workload in (suite_workloads(fast_factor=FAST_FACTOR) if fast else suite_workloads())
+        if workload.name in wanted
+    ]
+    configs = {
+        topology: _replace(
+            _baseline(n_gpms=8, name=f"mcm-{topology}-8"), topology=topology
+        )
+        for topology in TOPOLOGY_GATE_TOPOLOGIES
+    }
+    order = list(configs)
+    per_config = run_suites([configs[key] for key in order], workloads=workloads)
+    results = dict(zip(order, per_config))
+    for key, suite in results.items():
+        for result in suite.values():
+            violations = check_result(result, config=configs[key])
+            if violations:
+                raise AssertionError(
+                    f"invariant violation in topology sweep "
+                    f"({result.workload_name} on {configs[key].name}): {violations[0]}"
+                )
+    link_totals = {
+        key: float(sum(result.link_bytes for result in suite.values()))
+        for key, suite in results.items()
+    }
+    cycle_totals = {
+        key: float(sum(result.cycles for result in suite.values()))
+        for key, suite in results.items()
+    }
+    checks = evaluate_topology_checks({"link": link_totals, "cycles": cycle_totals})
+    if fast:
+        checks = [check.widened(FAST_SLACK) for check in checks]
+    return checks
+
+
+def evaluate_topology_checks(data: Dict[str, object]) -> List[FidelityCheck]:
+    """Build the topology checks from per-topology link/cycle totals.
+
+    ``data["link"]`` and ``data["cycles"]`` map topology name to summed
+    link bytes / cycles over the gate's workloads.  Hop-ratio bands come
+    from the topology registry's BFS hop math — they are *relational*
+    (measured traffic vs measured single-hop traffic), so they stay valid
+    across workload re-calibrations.
+    """
+    from ..core.analytical import average_hops
+
+    link: Dict[str, float] = dict(data["link"])  # type: ignore[arg-type]
+    cycles: Dict[str, float] = dict(data["cycles"])  # type: ignore[arg-type]
+    reference = link["fully_connected"]
+    checks: List[FidelityCheck] = []
+    for topology in ("ring", "mesh", "torus", "hierarchical"):
+        hops = average_hops(8, topology)
+        ratio = link[topology] / reference if reference else 0.0
+        checks.append(
+            FidelityCheck(
+                f"topo-hops-{topology}",
+                f"avg hops {hops:.3f}",
+                hops * (1.0 - TOPOLOGY_HOP_SLACK),
+                hops * (1.0 + TOPOLOGY_HOP_SLACK),
+                ratio,
+            )
+        )
+    # The hierarchical fabric funnels cross-package traffic through a
+    # fixed 256 GB/s board ring; on a bandwidth-heavy suite that must
+    # cost cycles relative to the all-768 package ring.
+    checks.append(
+        FidelityCheck(
+            "topo-hier-board-cost",
+            "board bottleneck",
+            1.0,
+            inf,
+            cycles["hierarchical"] / cycles["ring"] if cycles["ring"] else 0.0,
+        )
+    )
+    return checks
+
+
 def report(checks: Sequence[FidelityCheck]) -> str:
     """Human-readable pass/fail table for a fidelity run."""
     rows = [

@@ -26,7 +26,7 @@ telemetry so a perf regression shows up alongside the metric drift.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -67,12 +67,19 @@ def default_store_path() -> Path:
 
 
 def golden_configs() -> List[SystemConfig]:
-    """The four systems pinned into the golden matrix."""
+    """The six systems pinned into the golden matrix.
+
+    The four machine classes of the paper, plus two scale-out points
+    (8-GPM mesh and torus) so the registry-built fabrics are regression-
+    pinned alongside the dedicated ring/fully-connected classes.
+    """
     return [
         baseline_mcm_gpu(),
         optimized_mcm_gpu(),
         monolithic_gpu(256),
         multi_gpu(optimized=False),
+        replace(baseline_mcm_gpu(n_gpms=8, name="mcm-mesh-8"), topology="mesh"),
+        replace(baseline_mcm_gpu(n_gpms=8, name="mcm-torus-8"), topology="torus"),
     ]
 
 

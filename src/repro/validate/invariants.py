@@ -242,12 +242,16 @@ def _check_link_bounds(result: SimResult, config) -> List[Violation]:
     that reaches the ring moves a request header out and a header + line
     back; a remote store moves a header + line out; L1.5 load hits reach
     the ring not at all.  Hop counts are bounded by the topology's
-    diameter (1 for fully-connected, ``n // 2`` for the ring).
+    diameter, taken from the topology registry so an unregistered
+    topology fails loudly here instead of silently inheriting ring
+    bounds.
     """
+    from ..interconnect.topology import diameter
+
     violations: List[Violation] = []
     if config.n_gpms <= 1:
         return violations
-    max_hops = 1 if config.topology == "fully_connected" else max(1, config.n_gpms // 2)
+    max_hops = max(1, diameter(config.topology, config.n_gpms))
     load_bytes = 2 * REQUEST_HEADER_BYTES + LINE_BYTES
     store_bytes = REQUEST_HEADER_BYTES + LINE_BYTES
     # L1.5 *load* hits (hits minus write touch-hits) are the only requests

@@ -54,12 +54,23 @@ class TestTopologyCounts:
         assert average_hops(1, "fully_connected") == 0.0
 
     def test_unknown_topology_rejected(self):
+        # "torus" is a registered fabric now; a genuinely unknown name
+        # must still fail loudly everywhere the registry dispatches.
         with pytest.raises(ValueError, match="topology"):
-            topology_ports(4, "torus")
+            topology_ports(4, "hypercube")
         with pytest.raises(ValueError, match="topology"):
-            topology_link_count(4, "torus")
+            topology_link_count(4, "hypercube")
         with pytest.raises(ValueError, match="topology"):
-            average_hops(4, "torus")
+            average_hops(4, "hypercube")
+
+    def test_registry_fabrics_dispatch(self):
+        # The registry answers for every fabric: a 4-node torus is a
+        # doubled ring (each wraparound fuses with the mesh edge), and
+        # the 2x2 mesh is a 4-cycle.
+        assert topology_ports(4, "mesh") == 4
+        assert topology_link_count(4, "mesh") == 8
+        assert average_hops(4, "mesh") == pytest.approx(4.0 / 3.0)
+        assert average_hops(9, "torus") < average_hops(9, "mesh")
 
 
 class TestRequiredBandwidth:

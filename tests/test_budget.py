@@ -1,0 +1,145 @@
+"""Tests for the package area/power budget model (``repro.core.budget``)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.budget import (
+    AREA_PER_SM_MM2,
+    DEFAULT_BUDGET,
+    WATTS_PER_SM,
+    BudgetSpec,
+    bandwidth_feasible,
+    evaluate_budget,
+    full_scale_sram_mb,
+    package_cost,
+)
+from repro.core.energy import TIER_BANDWIDTH_GBPS, IntegrationTier
+from repro.core.presets import baseline_mcm_gpu, monolithic_gpu, multi_gpu
+
+
+class TestPackageCost:
+    def test_components_sum_to_totals(self):
+        cost = package_cost(baseline_mcm_gpu())
+        assert cost.area_mm2 == pytest.approx(
+            cost.sm_area_mm2
+            + cost.sram_area_mm2
+            + cost.dram_phy_area_mm2
+            + cost.link_phy_area_mm2
+        )
+        assert cost.power_w == pytest.approx(
+            cost.sm_watts + cost.sram_watts + cost.dram_watts + cost.link_watts
+        )
+
+    def test_sm_costs_scale_with_sm_count(self):
+        cost = package_cost(baseline_mcm_gpu())
+        assert cost.sm_area_mm2 == pytest.approx(256 * AREA_PER_SM_MM2)
+        assert cost.sm_watts == pytest.approx(256 * WATTS_PER_SM)
+
+    def test_sram_area_uses_full_scale_capacity(self):
+        # The simulator stores 1/32-scale capacities; the cost model must
+        # price the full-scale silicon, so 16 MB of L2 shows up as 16 MB.
+        config = baseline_mcm_gpu()
+        assert full_scale_sram_mb(config) >= 16.0
+
+    def test_cost_is_monotone_in_module_count(self):
+        costs = [
+            package_cost(
+                replace(
+                    baseline_mcm_gpu(n_gpms=n, name=f"cost-{n}"), topology="mesh"
+                )
+            )
+            for n in (8, 16, 64)
+        ]
+        assert costs[0].area_mm2 < costs[1].area_mm2 < costs[2].area_mm2
+        assert costs[0].power_w < costs[1].power_w < costs[2].power_w
+
+    def test_fully_connected_pays_more_link_phy_than_ring(self):
+        ring = package_cost(baseline_mcm_gpu(n_gpms=8, name="phy-ring"))
+        fc = package_cost(
+            replace(
+                baseline_mcm_gpu(n_gpms=8, name="phy-fc"),
+                topology="fully_connected",
+            )
+        )
+        # 28 edges vs 8: the all-to-all fabric's PHY bill is the budget
+        # mechanism that prices port count, not just per-link speed.
+        assert fc.link_phy_area_mm2 > 3.0 * ring.link_phy_area_mm2
+
+    def test_as_dict_round_trips_totals(self):
+        data = package_cost(baseline_mcm_gpu()).as_dict()
+        assert data["area_mm2"] == pytest.approx(
+            data["sm_area_mm2"]
+            + data["sram_area_mm2"]
+            + data["dram_phy_area_mm2"]
+            + data["link_phy_area_mm2"]
+        )
+
+
+class TestBandwidthFeasibility:
+    """Satellite fix: Table 2's ``TIER_BANDWIDTH_GBPS`` was dead data —
+    these tests pin that the constants are actually consumed."""
+
+    def test_package_tier_ceiling_is_enforced(self):
+        ceiling = TIER_BANDWIDTH_GBPS[IntegrationTier.PACKAGE]
+        assert ceiling == 1500.0  # Table 2's on-package figure
+        at_cap = replace(baseline_mcm_gpu(), link_bandwidth=ceiling)
+        over_cap = replace(baseline_mcm_gpu(), link_bandwidth=ceiling + 1.0)
+        assert bandwidth_feasible(at_cap)
+        assert not bandwidth_feasible(over_cap)
+
+    def test_monolithic_reference_is_unbuildable(self):
+        # The paper's monolithic reference runs a 32 TB/s on-die fabric —
+        # deliberately beyond Table 2's 20 TB/s chip-tier practical cap.
+        assert not bandwidth_feasible(monolithic_gpu(256))
+        verdict = evaluate_budget(monolithic_gpu(256))
+        assert not verdict.bandwidth_ok
+        assert not verdict.feasible
+
+    def test_board_tier_multi_gpu_is_at_cap(self):
+        config = multi_gpu(optimized=False)
+        assert config.link_bandwidth == TIER_BANDWIDTH_GBPS[IntegrationTier.BOARD]
+        assert bandwidth_feasible(config)
+
+    def test_single_module_is_trivially_feasible(self):
+        config = baseline_mcm_gpu(n_gpms=1, name="single")
+        assert bandwidth_feasible(config)
+
+
+class TestBudgetVerdicts:
+    def test_paper_baseline_fits_the_default_budget(self):
+        verdict = evaluate_budget(baseline_mcm_gpu())
+        assert verdict.feasible
+        assert verdict.cost.area_mm2 < DEFAULT_BUDGET.area_mm2
+
+    def test_the_budget_cliff(self):
+        # The scale-out study's designed story: 8 GPMs fit, 64 do not.
+        mesh8 = replace(baseline_mcm_gpu(n_gpms=8, name="cliff-8"), topology="mesh")
+        mesh64 = replace(baseline_mcm_gpu(n_gpms=64, name="cliff-64"), topology="mesh")
+        assert evaluate_budget(mesh8).feasible
+        verdict64 = evaluate_budget(mesh64)
+        assert not verdict64.area_ok
+        assert not verdict64.power_ok
+
+    def test_custom_budget_changes_the_verdict(self):
+        config = baseline_mcm_gpu()
+        tight = BudgetSpec(area_mm2=100.0, power_w=100.0, name="tight")
+        verdict = evaluate_budget(config, tight)
+        assert not verdict.area_ok
+        assert not verdict.power_ok
+        assert not verdict.feasible
+
+    def test_verdict_as_dict_is_flat_and_complete(self):
+        data = evaluate_budget(baseline_mcm_gpu()).as_dict()
+        for key in (
+            "system",
+            "budget",
+            "area_mm2",
+            "power_w",
+            "area_ok",
+            "power_ok",
+            "bandwidth_ok",
+            "feasible",
+        ):
+            assert key in data
+        assert data["feasible"] is True

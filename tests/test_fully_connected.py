@@ -121,8 +121,9 @@ class TestSystemIntegration:
 
         from repro.core.presets import baseline_mcm_gpu
 
+        # "torus" graduated into the registry; use a name that stays fake.
         with pytest.raises(ValueError, match="topology"):
-            replace(baseline_mcm_gpu(name="bad"), topology="torus")
+            replace(baseline_mcm_gpu(name="bad"), topology="hypercube")
 
     def test_fc_topology_simulates_end_to_end(self):
         # Regression: the specialized walker generator assumed a ring's
